@@ -1,0 +1,335 @@
+// Package resultdb_test hosts the top-level benchmark suite: one testing.B
+// benchmark per table and figure of the paper's evaluation (Section 6), plus
+// micro-benchmarks of the core primitives. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// The printed paper-style artifacts come from cmd/benchrunner; these benches
+// provide stable, comparable timings for the same code paths.
+package resultdb_test
+
+import (
+	"sync"
+	"testing"
+
+	"resultdb/internal/bench"
+	"resultdb/internal/core"
+	"resultdb/internal/db"
+	"resultdb/internal/engine"
+	"resultdb/internal/rewrite"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/wire"
+	"resultdb/internal/workload/job"
+	"resultdb/internal/workload/ssb"
+	"resultdb/internal/workload/star"
+)
+
+// benchScale keeps the full benchmark suite in the tens-of-seconds range.
+const benchScale = 0.1
+
+var (
+	envOnce sync.Once
+	env     *bench.Env
+	envErr  error
+)
+
+func jobEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		env, envErr = bench.NewJOBEnv(benchScale)
+		if env != nil {
+			env.Reps = 1
+		}
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return env
+}
+
+// BenchmarkTable1ResultSizes regenerates Table 1: result-set sizes and
+// compression ratios for ST/RDBRP/RDB on the paper's ten JOB queries.
+func BenchmarkTable1ResultSizes(b *testing.B) {
+	e := jobEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.Table1(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Query == "16b" {
+					b.ReportMetric(r.RatioRDB(), "compression16b")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig7StarSchema regenerates Figure 7: star-schema result sizes
+// over dimension-filter selectivity.
+func BenchmarkFig7StarSchema(b *testing.B) {
+	cfg := star.Config{Dims: 3, DimRows: 15, PayloadLen: 40, Seed: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		points, err := bench.Fig7(cfg, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := points[len(points)-1]
+			b.ReportMetric(float64(last.Redundancy())/1024, "redundancyKiB")
+		}
+	}
+}
+
+// BenchmarkFig8RewriteMethods regenerates Figure 8 on a representative
+// query subset (one per family: selective, star, high-redundancy,
+// single-output, cyclic).
+func BenchmarkFig8RewriteMethods(b *testing.B) {
+	e := jobEnv(b)
+	names := []string{"3c", "9c", "11c", "16b", "21a"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Fig8(names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8PerMethod times each rewrite method on the star-join 9c.
+func BenchmarkFig8PerMethod(b *testing.B) {
+	e := jobEnv(b)
+	sel, err := e.Select("9c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range rewrite.Methods {
+		b.Run(m.String(), func(b *testing.B) {
+			plan, err := rewrite.Rewrite(sel, e.DB, m, rewrite.ModeRDB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rewrite.Run(e.DB, plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Overhead regenerates Table 2 (best rewrite vs single
+// table) on the same subset as Figure 8.
+func BenchmarkTable2Overhead(b *testing.B) {
+	e := jobEnv(b)
+	names := []string{"3c", "9c", "11c", "16b", "21a"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig8, err := e.Fig8(names)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Table2(fig8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9SemiJoin regenerates Figure 9: native RESULTDB-SEMIJOIN vs
+// Single Table + Decompose.
+func BenchmarkFig9SemiJoin(b *testing.B) {
+	e := jobEnv(b)
+	names := []string{"3c", "9c", "16b", "21a", "29a"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Fig9(names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3EndToEnd regenerates Table 3: execution + 100 Mbps
+// transfer + post-join for ST vs the best rewrite.
+func BenchmarkTable3EndToEnd(b *testing.B) {
+	e := jobEnv(b)
+	names := []string{"9c", "16b", "33c"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Table3(names, wire.DefaultTransfer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRoot exercises the Root Node Enumeration ablation.
+func BenchmarkAblationRoot(b *testing.B) {
+	e := jobEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.AblationRoot([]string{"9c", "22c"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFold exercises the Tree Folding Enumeration ablation on
+// the cyclic templates.
+func BenchmarkAblationFold(b *testing.B) {
+	e := jobEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.AblationFold([]string{"14a", "23a"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the primitives behind the experiments ---
+
+// BenchmarkSemiJoinReduce16b isolates the reduction phase of Algorithm 4 on
+// the heaviest acyclic query.
+func BenchmarkSemiJoinReduce16b(b *testing.B) {
+	e := jobEnv(b)
+	sel, err := e.Select("16b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := engine.AnalyzeSPJ(sel, e.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := &engine.Executor{Src: e.DB}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rels, err := ex.BaseRelations(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := core.SemiJoinReduce(spec, rels, nil, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleTable16b is the matching single-table baseline.
+func BenchmarkSingleTable16b(b *testing.B) {
+	e := jobEnv(b)
+	sel, err := e.Select("16b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.DB.Query(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompose16b isolates the Decompose operator (the paper's
+// "negligible overhead" claim in Figure 9's zoom-in).
+func BenchmarkDecompose16b(b *testing.B) {
+	e := jobEnv(b)
+	sel, err := e.Select("16b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := engine.AnalyzeSPJ(sel, e.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := &engine.Executor{Src: e.DB}
+	joined, err := ex.RunSPJ(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decompose(joined, spec.OutputRels()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures the SQL front end on the largest template.
+func BenchmarkParse(b *testing.B) {
+	q, err := job.QueryByName("22c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.ParseSelect(q.SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEncode measures result serialization on a subdatabase result.
+func BenchmarkWireEncode(b *testing.B) {
+	e := jobEnv(b)
+	sel, err := e.Select("16b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := e.DB.QueryResultDB(sel, db.ModeRDBRP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(wire.EncodeResult(res))
+	}
+	b.ReportMetric(float64(n), "bytes")
+}
+
+// BenchmarkPostJoin measures the client-side post-join on 16b's RDBRP
+// subdatabase (Table 3's last component).
+func BenchmarkPostJoin(b *testing.B) {
+	e := jobEnv(b)
+	sel, err := e.Select("16b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := e.DB.QueryResultDB(sel, db.ModeRDBRP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.DB.PostJoin(sel, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSBFlights measures the Star Schema Benchmark extension: all 13
+// flights, single-table vs RESULTDB (sizes and times).
+func BenchmarkSSBFlights(b *testing.B) {
+	cfg := ssb.Config{Scale: 0.3, Seed: 77}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.SSB(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var best float64
+			for _, r := range rows {
+				if r.Ratio() > best {
+					best = r.Ratio()
+				}
+			}
+			b.ReportMetric(best, "bestCompression")
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// TestRunEachExperiment smoke-tests the runner end to end at a tiny scale:
+// every experiment id must execute and print without error.
+func TestRunEachExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is not -short")
+	}
+	for _, exp := range []string{
+		"table1", "fig7", "fig8", "table2", "fig9", "table3", "ssb",
+		"ablation-root", "ablation-fold", "ablation-bloom", "ablation-joinorder",
+	} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			queries := "3c,9c"
+			if exp == "ablation-fold" {
+				queries = "6a"
+			}
+			if err := run(exp, 0.02, 1, 100, queries); err != nil {
+				t.Fatalf("run(%s): %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownQueries(t *testing.T) {
+	if err := run("table1", 0.02, 1, 100, "zz"); err == nil {
+		t.Fatal("unknown query should error")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"resultdb/internal/csvio"
+	"resultdb/internal/db"
+)
+
+func TestDatagenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("hierarchy", 0, 3, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"products.csv", "electronics.csv", "clothing.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+	// Reload one table and sanity-check it.
+	f, err := os.Open(filepath.Join(dir, "products.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d := db.New()
+	n, err := csvio.Load(d, "products", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Errorf("reloaded %d rows, want 1000", n)
+	}
+}
+
+func TestDatagenWorkloads(t *testing.T) {
+	if err := run("star", 0, 1, t.TempDir()); err != nil {
+		t.Errorf("star: %v", err)
+	}
+	if err := run("job", 0.01, 1, t.TempDir()); err != nil {
+		t.Errorf("job: %v", err)
+	}
+	if err := run("nope", 1, 1, t.TempDir()); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}

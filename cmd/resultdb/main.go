@@ -1,0 +1,295 @@
+// Command resultdb is an interactive SQL shell (and one-shot executor) for
+// the reproduction's main-memory DBMS, with the paper's SELECT RESULTDB
+// extension available out of the box.
+//
+// Usage:
+//
+//	resultdb                      # interactive shell on an empty database
+//	resultdb -workload job        # preload the JOB-like IMDb workload
+//	resultdb -e "SELECT ..."      # execute one statement and exit
+//	resultdb -f script.sql        # run a SQL script, then open the shell
+//
+// Shell meta-commands: \d (list tables), \d NAME (describe), \timing
+// (toggle timings), \strategy semijoin|decompose, \save FILE and
+// \open FILE (binary database snapshots), \q (quit).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"resultdb/internal/csvio"
+	"resultdb/internal/db"
+	"resultdb/internal/snapshot"
+	"resultdb/internal/workload/hierarchy"
+	"resultdb/internal/workload/job"
+	"resultdb/internal/workload/star"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "preload a workload: job | star | hierarchy")
+		scale    = flag.Float64("scale", 0.25, "JOB workload scale factor")
+		execSQL  = flag.String("e", "", "execute one statement and exit")
+		file     = flag.String("f", "", "execute a SQL script file before starting the shell")
+		csvDir   = flag.String("csv", "", "load every *.csv in the directory as a table before starting")
+	)
+	flag.Parse()
+
+	d := db.New()
+	if err := preload(d, *workload, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "resultdb:", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		if err := loadCSVDir(d, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "resultdb:", err)
+			os.Exit(1)
+		}
+	}
+	if *file != "" {
+		script, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resultdb:", err)
+			os.Exit(1)
+		}
+		if _, err := d.ExecScript(string(script)); err != nil {
+			fmt.Fprintln(os.Stderr, "resultdb:", err)
+			os.Exit(1)
+		}
+	}
+	if *execSQL != "" {
+		s := &shell{db: d, out: os.Stdout}
+		if err := s.execute(*execSQL); err != nil {
+			fmt.Fprintln(os.Stderr, "resultdb:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	(&shell{db: d, out: os.Stdout}).repl(os.Stdin)
+}
+
+// loadCSVDir loads every *.csv file in dir as a table named after the file.
+func loadCSVDir(d *db.Database, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(e.Name(), ".csv")
+		n, err := csvio.Load(d, name, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", e.Name(), err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s (%d rows)\n", name, n)
+	}
+	return nil
+}
+
+func preload(d *db.Database, workload string, scale float64) error {
+	switch workload {
+	case "":
+		return nil
+	case "job":
+		return job.Load(d, job.Config{Scale: scale, Seed: 42})
+	case "star":
+		return star.Load(d, star.DefaultConfig())
+	case "hierarchy":
+		return hierarchy.Load(d, hierarchy.DefaultConfig())
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+}
+
+type shell struct {
+	db     *db.Database
+	out    *os.File
+	timing bool
+}
+
+func (s *shell) repl(in *os.File) {
+	fmt.Fprintln(s.out, "resultdb shell — SELECT RESULTDB supported; \\q to quit, \\d to list tables")
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "resultdb> "
+	for {
+		fmt.Fprint(s.out, prompt)
+		if !scanner.Scan() {
+			fmt.Fprintln(s.out)
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if s.meta(trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "      ...> "
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		prompt = "resultdb> "
+		if err := s.execute(stmt); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+		}
+	}
+}
+
+// meta handles backslash commands; returns true to quit.
+func (s *shell) meta(cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q":
+		return true
+	case "\\timing":
+		s.timing = !s.timing
+		fmt.Fprintf(s.out, "timing %v\n", s.timing)
+	case "\\strategy":
+		if len(fields) == 2 {
+			switch fields[1] {
+			case "semijoin":
+				s.db.Strategy = db.StrategySemiJoin
+			case "decompose":
+				s.db.Strategy = db.StrategyDecompose
+			default:
+				fmt.Fprintln(s.out, "usage: \\strategy semijoin|decompose")
+			}
+		}
+		fmt.Fprintf(s.out, "resultdb strategy %v\n", s.db.Strategy)
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: \\save FILE")
+			return false
+		}
+		if err := s.saveSnapshot(fields[1]); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+		} else {
+			fmt.Fprintln(s.out, "saved", fields[1])
+		}
+	case "\\open":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: \\open FILE")
+			return false
+		}
+		if err := s.openSnapshot(fields[1]); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+		} else {
+			fmt.Fprintln(s.out, "opened", fields[1])
+		}
+	case "\\d":
+		if len(fields) == 2 {
+			def, err := s.db.Catalog().Lookup(fields[1])
+			if err != nil {
+				fmt.Fprintln(s.out, "error:", err)
+				return false
+			}
+			fmt.Fprintln(s.out, def.String())
+			return false
+		}
+		for _, name := range s.db.Catalog().Names() {
+			t, err := s.db.Table(name)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(s.out, "%-24s %8d rows\n", name, t.Len())
+		}
+	default:
+		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\strategy, \\q")
+	}
+	return false
+}
+
+// saveSnapshot writes the whole database to path.
+func (s *shell) saveSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.Save(s.db, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// openSnapshot replaces the session database with the snapshot at path.
+func (s *shell) openSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := snapshot.Load(f)
+	if err != nil {
+		return err
+	}
+	s.db = d
+	return nil
+}
+
+func (s *shell) execute(sql string) error {
+	start := time.Now()
+	results, err := s.db.ExecScript(sql)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	for _, res := range results {
+		s.printResult(res)
+	}
+	if s.timing {
+		fmt.Fprintf(s.out, "Time: %.3f ms\n", float64(elapsed.Microseconds())/1000)
+	}
+	return nil
+}
+
+const maxDisplayRows = 50
+
+func (s *shell) printResult(res *db.Result) {
+	if len(res.Sets) == 0 {
+		if res.Affected > 0 {
+			fmt.Fprintf(s.out, "OK, %d rows affected\n", res.Affected)
+		} else {
+			fmt.Fprintln(s.out, "OK")
+		}
+		return
+	}
+	for _, set := range res.Sets {
+		if len(res.Sets) > 1 {
+			fmt.Fprintf(s.out, "-- relation %s (%d rows, %d bytes)\n", set.Name, set.NumRows(), set.WireSize())
+		}
+		fmt.Fprintln(s.out, strings.Join(set.Columns, " | "))
+		fmt.Fprintln(s.out, strings.Repeat("-", len(strings.Join(set.Columns, " | "))))
+		for i, row := range set.Rows {
+			if i >= maxDisplayRows {
+				fmt.Fprintf(s.out, "... (%d more rows)\n", len(set.Rows)-maxDisplayRows)
+				break
+			}
+			fmt.Fprintln(s.out, row.String())
+		}
+		fmt.Fprintf(s.out, "(%d rows)\n", set.NumRows())
+	}
+	if res.Stats != nil {
+		fmt.Fprintf(s.out, "-- %s\n", res.Stats)
+	}
+}

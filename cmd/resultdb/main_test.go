@@ -1,0 +1,170 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resultdb/internal/db"
+)
+
+func testShell(t *testing.T) (*shell, *os.File, func() string) {
+	t.Helper()
+	d := db.New()
+	if _, err := d.ExecScript(`
+		CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT);
+		INSERT INTO t VALUES (1, 'a'), (2, 'b');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.CreateTemp(t.TempDir(), "shell-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &shell{db: d, out: out}
+	return s, out, func() string {
+		data, err := os.ReadFile(out.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+}
+
+func TestShellExecuteSelect(t *testing.T) {
+	s, _, output := testShell(t)
+	if err := s.execute("SELECT t.name FROM t AS t ORDER BY t.name;"); err != nil {
+		t.Fatal(err)
+	}
+	got := output()
+	if !strings.Contains(got, "a\nb") || !strings.Contains(got, "(2 rows)") {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestShellExecuteResultDBAndStats(t *testing.T) {
+	s, _, output := testShell(t)
+	s.timing = true
+	if err := s.execute("SELECT RESULTDB t.name FROM t AS t WHERE t.id = 1;"); err != nil {
+		t.Fatal(err)
+	}
+	got := output()
+	if !strings.Contains(got, "Time:") {
+		t.Errorf("timing missing: %q", got)
+	}
+}
+
+func TestShellMetaCommands(t *testing.T) {
+	s, _, output := testShell(t)
+	if s.meta(`\d`) {
+		t.Error("\\d should not quit")
+	}
+	if s.meta(`\d t`) {
+		t.Error("\\d t should not quit")
+	}
+	if s.meta(`\timing`) {
+		t.Error("\\timing should not quit")
+	}
+	if s.meta(`\strategy decompose`) {
+		t.Error("\\strategy should not quit")
+	}
+	if s.db.Strategy != db.StrategyDecompose {
+		t.Error("strategy not switched")
+	}
+	s.meta(`\strategy semijoin`)
+	if s.db.Strategy != db.StrategySemiJoin {
+		t.Error("strategy not switched back")
+	}
+	s.meta(`\nope`)
+	if !s.meta(`\q`) {
+		t.Error("\\q must quit")
+	}
+	got := output()
+	for _, want := range []string{"t ", "t(id INTEGER, name TEXT)", "timing true", "unknown command"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("meta output missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestShellReplScript(t *testing.T) {
+	s, _, output := testShell(t)
+	in, err := os.CreateTemp(t.TempDir(), "shell-in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := "SELECT t.id FROM t AS t\nWHERE t.id = 2;\nSELECT broken;\n\\q\n"
+	if _, err := in.WriteString(script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.repl(in)
+	got := output()
+	if !strings.Contains(got, "(1 rows)") {
+		t.Errorf("multi-line statement failed: %q", got)
+	}
+	if !strings.Contains(got, "error:") {
+		t.Errorf("error not reported: %q", got)
+	}
+}
+
+func TestPreloadAndCSV(t *testing.T) {
+	d := db.New()
+	if err := preload(d, "hierarchy", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := preload(db.New(), "bogus", 0); err == nil {
+		t.Error("bogus workload should fail")
+	}
+	// CSV dir loading.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.csv"), []byte("id:INTEGER\n7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ignored.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2 := db.New()
+	if err := loadCSVDir(d2, dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d2.QuerySQL("SELECT x.id FROM x AS x")
+	if err != nil || res.First().NumRows() != 1 {
+		t.Errorf("csv table not loaded: %v %v", res, err)
+	}
+}
+
+func TestShellSnapshotSaveOpen(t *testing.T) {
+	s, _, output := testShell(t)
+	path := filepath.Join(t.TempDir(), "db.snap")
+	if s.meta(`\save ` + path) {
+		t.Fatal("\\save should not quit")
+	}
+	// Mutate, then reopen the snapshot: the mutation must be gone.
+	if err := s.execute("INSERT INTO t VALUES (3, 'c');"); err != nil {
+		t.Fatal(err)
+	}
+	if s.meta(`\open ` + path) {
+		t.Fatal("\\open should not quit")
+	}
+	if err := s.execute("SELECT COUNT(*) FROM t AS t;"); err != nil {
+		t.Fatal(err)
+	}
+	got := output()
+	if !strings.Contains(got, "saved") || !strings.Contains(got, "opened") {
+		t.Errorf("snapshot output = %q", got)
+	}
+	if !strings.Contains(got, "\n2\n") {
+		t.Errorf("reopened database should have 2 rows: %q", got)
+	}
+	// Usage errors.
+	s.meta(`\save`)
+	s.meta(`\open`)
+	s.meta(`\open /nonexistent/path`)
+	if !strings.Contains(output(), "usage") {
+		t.Error("usage message missing")
+	}
+}

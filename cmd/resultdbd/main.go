@@ -1,0 +1,64 @@
+// Command resultdbd serves a database over TCP using the repository's wire
+// protocol, for the distributed-database use case (Section 1.2, use case 3):
+// a client can run SELECT RESULTDB remotely and receive the subdatabase
+// instead of a denormalized single-table result, cutting transfer size.
+//
+// Usage:
+//
+//	resultdbd -addr :7483 -workload job -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"resultdb/internal/db"
+	"resultdb/internal/wire"
+	"resultdb/internal/workload/hierarchy"
+	"resultdb/internal/workload/job"
+	"resultdb/internal/workload/star"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7483", "listen address")
+		workload = flag.String("workload", "job", "preload a workload: job | star | hierarchy | none")
+		scale    = flag.Float64("scale", 0.25, "JOB workload scale factor")
+	)
+	flag.Parse()
+
+	d := db.New()
+	var err error
+	switch *workload {
+	case "job":
+		err = job.Load(d, job.Config{Scale: *scale, Seed: 42})
+	case "star":
+		err = star.Load(d, star.DefaultConfig())
+	case "hierarchy":
+		err = hierarchy.Load(d, hierarchy.DefaultConfig())
+	case "none", "":
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resultdbd:", err)
+		os.Exit(1)
+	}
+
+	srv := wire.NewServer(d)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resultdbd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("resultdbd listening on %s (workload=%s)\n", bound, *workload)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}

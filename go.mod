@@ -1,0 +1,3 @@
+module resultdb
+
+go 1.22

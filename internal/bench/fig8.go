@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"resultdb/internal/rewrite"
+	"resultdb/internal/workload/job"
+)
+
+// RMTiming is one Figure 8 group: median execution time of each rewrite
+// method on one query. A zero duration with a non-empty Err marks a method
+// that does not apply (e.g. RM 4 without a primary key).
+type RMTiming struct {
+	Query string
+	Times map[rewrite.Method]time.Duration
+	Errs  map[rewrite.Method]string
+}
+
+// Fig8 measures the rewrite methods on the given JOB queries (nil = all 33)
+// in RDB mode. As in the paper, each rewrite's reported time covers all of
+// its statements (view creation + per-relation queries + cleanup); we time
+// in-process execution, which plays the role of the paper's COUNT(*)
+// aggregation by excluding client transfer from the measurement.
+func (e *Env) Fig8(names []string) ([]RMTiming, error) {
+	if names == nil {
+		for _, q := range job.Queries() {
+			names = append(names, q.Name)
+		}
+	}
+	out := make([]RMTiming, 0, len(names))
+	for _, name := range names {
+		sel, err := e.Select(name)
+		if err != nil {
+			return nil, err
+		}
+		row := RMTiming{
+			Query: name,
+			Times: make(map[rewrite.Method]time.Duration, len(rewrite.Methods)),
+			Errs:  make(map[rewrite.Method]string),
+		}
+		for _, m := range rewrite.Methods {
+			plan, err := rewrite.Rewrite(sel, e.DB, m, rewrite.ModeRDB)
+			if err != nil {
+				row.Errs[m] = err.Error()
+				continue
+			}
+			med, err := median(e.Reps, func() error {
+				_, err := rewrite.Run(e.DB, plan)
+				return err
+			})
+			if err != nil {
+				row.Errs[m] = err.Error()
+				continue
+			}
+			row.Times[m] = med
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatFig8 renders the grouped bars as a table (ms), one row per query.
+func FormatFig8(rows []RMTiming) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: query execution time of the rewrite methods [ms]\n")
+	fmt.Fprintf(&b, "%-6s %10s %10s %10s %10s\n", "Query", "RM1", "RM2", "RM3", "RM4")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s", r.Query)
+		for _, m := range rewrite.Methods {
+			if msg, bad := r.Errs[m]; bad {
+				fmt.Fprintf(&b, " %10s", "n/a")
+				_ = msg
+				continue
+			}
+			fmt.Fprintf(&b, " %10.2f", ms(r.Times[m]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Best returns the fastest applicable method and its time.
+func (r RMTiming) Best() (rewrite.Method, time.Duration) {
+	var best rewrite.Method
+	var bestT time.Duration
+	for _, m := range rewrite.Methods {
+		t, ok := r.Times[m]
+		if !ok {
+			continue
+		}
+		if best == 0 || t < bestT {
+			best, bestT = m, t
+		}
+	}
+	return best, bestT
+}

@@ -1,0 +1,109 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resultdb/internal/types"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := New(1000, 0.01)
+	var inserted []uint64
+	for i := 0; i < 1000; i++ {
+		h := rng.Uint64()
+		f.AddHash(h)
+		inserted = append(inserted, h)
+	}
+	for _, h := range inserted {
+		if !f.ContainsHash(h) {
+			t.Fatalf("false negative for %x", h)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 10000
+	f := New(n, 0.01)
+	member := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		h := rng.Uint64()
+		f.AddHash(h)
+		member[h] = true
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		h := rng.Uint64()
+		if member[h] {
+			continue
+		}
+		if f.ContainsHash(h) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Errorf("false positive rate %.3f far above target 0.01", rate)
+	}
+	if est := f.EstimatedFPRate(); est <= 0 || est > 0.2 {
+		t.Errorf("estimated fp rate %.4f implausible", est)
+	}
+}
+
+func TestKeySemantics(t *testing.T) {
+	f := New(10, 0.01)
+	row := types.Row{types.NewInt(7), types.NewText("x")}
+	f.AddKey(row, []int{0, 1})
+	if !f.ContainsKey(types.Row{types.NewInt(7), types.NewText("x")}, []int{0, 1}) {
+		t.Error("inserted key not found")
+	}
+	// NULL keys: never inserted, never matched.
+	nullRow := types.Row{types.Null(), types.NewText("x")}
+	f.AddKey(nullRow, []int{0, 1})
+	if f.Len() != 1 {
+		t.Errorf("NULL key inserted; Len = %d", f.Len())
+	}
+	if f.ContainsKey(nullRow, []int{0, 1}) {
+		t.Error("NULL probe matched")
+	}
+	// Numeric cross-kind equality carries through hashing.
+	f.AddKey(types.Row{types.NewInt(3)}, []int{0})
+	if !f.ContainsKey(types.Row{types.NewFloat(3)}, []int{0}) {
+		t.Error("3 and 3.0 must be filter-equal")
+	}
+}
+
+func TestSizingEdgeCases(t *testing.T) {
+	for _, f := range []*Filter{New(0, 0.01), New(1, -1), New(5, 2)} {
+		f.AddHash(42)
+		if !f.ContainsHash(42) {
+			t.Error("degenerate sizing lost an element")
+		}
+		if f.Bits() < 64 {
+			t.Errorf("Bits = %d, want >= 64", f.Bits())
+		}
+	}
+}
+
+// TestQuickNoFalseNegative property-checks the no-false-negative guarantee.
+func TestQuickNoFalseNegative(t *testing.T) {
+	f := func(hs []uint64) bool {
+		flt := New(len(hs), 0.02)
+		for _, h := range hs {
+			flt.AddHash(h)
+		}
+		for _, h := range hs {
+			if !flt.ContainsHash(h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package catalog holds logical schema metadata: columns, table definitions,
+// primary and foreign keys, and the catalog that maps names to definitions.
+//
+// The catalog is purely logical; physical storage lives in internal/storage.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"resultdb/internal/types"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type types.Kind
+	// NotNull marks columns that reject NULL on insert.
+	NotNull bool
+}
+
+// ForeignKey records that Columns of this table reference RefColumns of
+// RefTable. It is metadata only (used by workload generators and the
+// relationship-preserving projection); the engine does not enforce it.
+type ForeignKey struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// TableDef is the logical definition of one base table or materialized view.
+type TableDef struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  []string // column names; may be empty
+	ForeignKeys []ForeignKey
+	// IsView marks materialized views created via CREATE MATERIALIZED VIEW.
+	IsView bool
+
+	byName map[string]int
+}
+
+// NewTableDef builds a TableDef and its name index. Column names must be
+// unique (case-insensitive).
+func NewTableDef(name string, cols []Column) (*TableDef, error) {
+	d := &TableDef{Name: name, Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := d.byName[key]; dup {
+			return nil, fmt.Errorf("catalog: duplicate column %q in table %q", c.Name, name)
+		}
+		d.byName[key] = i
+	}
+	return d, nil
+}
+
+// MustTableDef is NewTableDef that panics on error; for statically known
+// schemas in workload generators and tests.
+func MustTableDef(name string, cols []Column) *TableDef {
+	d, err := NewTableDef(name, cols)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (d *TableDef) ColumnIndex(name string) int {
+	if i, ok := d.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// ColumnNames returns the column names in order.
+func (d *TableDef) ColumnNames() []string {
+	out := make([]string, len(d.Columns))
+	for i, c := range d.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// PrimaryKeyIndexes resolves the primary-key column names to positions.
+func (d *TableDef) PrimaryKeyIndexes() []int {
+	out := make([]int, 0, len(d.PrimaryKey))
+	for _, name := range d.PrimaryKey {
+		if i := d.ColumnIndex(name); i >= 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the definition (so ALTER-like operations and
+// view creation never alias the original).
+func (d *TableDef) Clone() *TableDef {
+	cols := make([]Column, len(d.Columns))
+	copy(cols, d.Columns)
+	nd := MustTableDef(d.Name, cols)
+	nd.PrimaryKey = append([]string(nil), d.PrimaryKey...)
+	nd.IsView = d.IsView
+	for _, fk := range d.ForeignKeys {
+		nd.ForeignKeys = append(nd.ForeignKeys, ForeignKey{
+			Columns:    append([]string(nil), fk.Columns...),
+			RefTable:   fk.RefTable,
+			RefColumns: append([]string(nil), fk.RefColumns...),
+		})
+	}
+	return nd
+}
+
+// String renders the definition as a CREATE TABLE-like signature.
+func (d *TableDef) String() string {
+	var b strings.Builder
+	b.WriteString(d.Name)
+	b.WriteByte('(')
+	for i, c := range d.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Catalog maps table names (case-insensitive) to definitions. It is safe for
+// concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*TableDef
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*TableDef)}
+}
+
+// Create registers a table definition. It fails if the name exists.
+func (c *Catalog) Create(d *TableDef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(d.Name)
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("catalog: table %q already exists", d.Name)
+	}
+	c.tables[key] = d
+	return nil
+}
+
+// Drop removes a table definition. It fails if the name is unknown.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Lookup returns the definition of name, or an error.
+func (c *Catalog) Lookup(name string) (*TableDef, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if d, ok := c.tables[strings.ToLower(name)]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("catalog: table %q does not exist", name)
+}
+
+// Has reports whether name is registered.
+func (c *Catalog) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Names returns all registered table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, d := range c.tables {
+		out = append(out, d.Name)
+	}
+	sort.Strings(out)
+	return out
+}

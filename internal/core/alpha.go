@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+)
+
+// DropImpliedEdges removes join-graph edges whose predicates are implied by
+// the rest of the graph through transitivity of equality — the practical
+// payoff of α-acyclicity (the paper's Section 4.1 trade-off, left as future
+// work there):
+//
+// A JG-cyclic query like R.k = S.k AND S.k = T.k AND R.k = T.k is α-acyclic
+// — the third predicate follows from the first two. Dropping it turns the
+// join graph into a tree, so Yannakakis' algorithm applies directly and the
+// expensive folding step (Algorithm 3) is skipped entirely.
+//
+// Implication is checked at attribute granularity: a predicate a.x = b.y is
+// implied iff a.x and b.y are connected in the equality graph over join
+// attributes built from all predicates EXCEPT those of the candidate edge.
+// (Class membership alone is not sufficient — the equivalence class may owe
+// its existence to the very predicate under test.) An edge is dropped iff
+// every one of its predicates is implied; removal is greedy to a fixpoint
+// and each removal is re-validated against the current graph, so
+// implications never rest on already-removed edges.
+func DropImpliedEdges(g *Graph, st *Stats) {
+	for {
+		removed := false
+		for i := range g.Edges {
+			if !edgeImplied(g, i) {
+				continue
+			}
+			g.Edges = append(g.Edges[:i], g.Edges[i+1:]...)
+			st.ImpliedEdgesDropped++
+			removed = true
+			break // indices shifted; rescan
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// edgeImplied reports whether every predicate of g.Edges[idx] is enforced
+// transitively by the predicates of the other edges.
+func edgeImplied(g *Graph, idx int) bool {
+	adj := attrEqualityGraph(g, idx)
+	for _, p := range g.Edges[idx].Preds {
+		l := attrKey(p.LeftRel, p.LeftCol)
+		r := attrKey(p.RightRel, p.RightCol)
+		if !attrConnected(adj, l, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// attrEqualityGraph builds the adjacency over join attributes from every
+// edge except skip.
+func attrEqualityGraph(g *Graph, skip int) map[string][]string {
+	adj := map[string][]string{}
+	for i, e := range g.Edges {
+		if i == skip {
+			continue
+		}
+		for _, p := range e.Preds {
+			l := attrKey(p.LeftRel, p.LeftCol)
+			r := attrKey(p.RightRel, p.RightCol)
+			adj[l] = append(adj[l], r)
+			adj[r] = append(adj[r], l)
+		}
+	}
+	return adj
+}
+
+func attrKey(rel, col string) string {
+	return strings.ToLower(rel) + "." + strings.ToLower(col)
+}
+
+// attrConnected is a BFS reachability test in the equality graph.
+func attrConnected(adj map[string][]string, from, to string) bool {
+	if from == to {
+		return true
+	}
+	visited := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, o := range adj[n] {
+			if o == to {
+				return true
+			}
+			if !visited[o] {
+				visited[o] = true
+				queue = append(queue, o)
+			}
+		}
+	}
+	return false
+}

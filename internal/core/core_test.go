@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"resultdb/internal/catalog"
+	"resultdb/internal/engine"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/storage"
+	"resultdb/internal/types"
+)
+
+// memSource is a trivial engine.Source for tests.
+type memSource map[string]*storage.Table
+
+func (m memSource) Table(name string) (*storage.Table, error) {
+	if t, ok := m[strings.ToLower(name)]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("no table %q", name)
+}
+
+func intCol(n string) catalog.Column { return catalog.Column{Name: n, Type: types.KindInt} }
+
+func mkTable(t *testing.T, name string, cols []catalog.Column, rows ...types.Row) *storage.Table {
+	t.Helper()
+	def := catalog.MustTableDef(name, cols)
+	tab := storage.NewTable(def)
+	if err := tab.InsertAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func ir(vals ...int) types.Row {
+	row := make(types.Row, len(vals))
+	for i, v := range vals {
+		row[i] = types.NewInt(int64(v))
+	}
+	return row
+}
+
+// chainSource builds a 4-relation chain r1 - r2 - r3 - r4 joined on k.
+func chainSource(t *testing.T) memSource {
+	t.Helper()
+	cols := []catalog.Column{intCol("id"), intCol("k")}
+	return memSource{
+		"r1": mkTable(t, "r1", cols, ir(1, 10), ir(2, 20), ir(3, 30)),
+		"r2": mkTable(t, "r2", cols, ir(1, 10), ir(2, 20), ir(3, 40)),
+		"r3": mkTable(t, "r3", cols, ir(1, 10), ir(2, 50)),
+		"r4": mkTable(t, "r4", cols, ir(1, 10), ir(2, 10), ir(3, 60)),
+	}
+}
+
+const chainQuery = `
+SELECT r1.id, r4.id FROM r1 AS r1, r2 AS r2, r3 AS r3, r4 AS r4
+WHERE r1.k = r2.k AND r2.k = r3.k AND r3.k = r4.k`
+
+func analyze(t *testing.T, src engine.Source, sql string) (*engine.SPJSpec, map[string]*engine.Relation) {
+	t.Helper()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := engine.AnalyzeSPJ(sel, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &engine.Executor{Src: src}
+	rels, err := ex.BaseRelations(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, rels
+}
+
+func TestBuildGraphMergesParallelEdges(t *testing.T) {
+	src := memSource{
+		"a": mkTable(t, "a", []catalog.Column{intCol("id"), intCol("x"), intCol("y")}, ir(1, 2, 3)),
+		"b": mkTable(t, "b", []catalog.Column{intCol("id"), intCol("x"), intCol("y")}, ir(1, 2, 3)),
+	}
+	spec, rels := analyze(t, src, `
+		SELECT a.id, b.id FROM a AS a, b AS b WHERE a.x = b.x AND a.y = b.y`)
+	g, err := BuildGraph(spec, rels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 1 {
+		t.Fatalf("parallel predicates must merge into one edge, got %d", len(g.Edges))
+	}
+	if len(g.Edges[0].Preds) != 2 {
+		t.Fatalf("edge preds = %d, want 2", len(g.Edges[0].Preds))
+	}
+	if g.IsCyclic() {
+		t.Error("two nodes with one (conjunctive) edge are acyclic")
+	}
+}
+
+func TestIsCyclic(t *testing.T) {
+	src := memSource{
+		"a": mkTable(t, "a", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1)),
+		"b": mkTable(t, "b", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1)),
+		"c": mkTable(t, "c", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1)),
+	}
+	spec, rels := analyze(t, src, `
+		SELECT a.id, b.id, c.id FROM a AS a, b AS b, c AS c
+		WHERE a.k = b.k AND b.k = c.k AND a.k = c.k`)
+	g, err := BuildGraph(spec, rels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsCyclic() {
+		t.Error("triangle must be cyclic")
+	}
+	// Chain is acyclic.
+	spec2, rels2 := analyze(t, chainSource(t), chainQuery)
+	g2, _ := BuildGraph(spec2, rels2, nil)
+	if g2.IsCyclic() {
+		t.Error("chain must be acyclic")
+	}
+	if got := g2.Components(); got != 1 {
+		t.Errorf("components = %d", got)
+	}
+}
+
+func TestReduceRelationsChain(t *testing.T) {
+	spec, rels := analyze(t, chainSource(t), chainQuery)
+	st := &Stats{}
+	g, err := BuildGraph(spec, rels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReduceRelations(g, DefaultOptions(), st); err != nil {
+		t.Fatal(err)
+	}
+	// Only k=10 survives the full chain: r1{1}, r2{1}, r3{1}, r4{1,2}.
+	wantLens := map[string]int{"r1": 1, "r2": 1, "r3": 1, "r4": 2}
+	for alias, want := range wantLens {
+		n := g.NodeOf(alias)
+		if n == nil {
+			t.Fatalf("missing node %s", alias)
+		}
+		if len(n.Rel.Rows) != want {
+			t.Errorf("%s reduced to %d rows, want %d", alias, len(n.Rel.Rows), want)
+		}
+	}
+	if st.SemiJoins == 0 {
+		t.Error("no semi-joins recorded")
+	}
+}
+
+func TestReduceRelationsRejectsCyclicAndDisconnected(t *testing.T) {
+	src := memSource{
+		"a": mkTable(t, "a", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1)),
+		"b": mkTable(t, "b", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1)),
+	}
+	spec, rels := analyze(t, src, "SELECT a.id, b.id FROM a AS a, b AS b WHERE a.id = 1 AND b.id = 1")
+	g, _ := BuildGraph(spec, rels, nil)
+	err := ReduceRelations(g, DefaultOptions(), &Stats{})
+	if err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Errorf("disconnected graph error = %v", err)
+	}
+}
+
+func TestEarlyStopSkipsUnprojectedSubtrees(t *testing.T) {
+	// Star: center r2 joined to r1, r3, r4; only r1 projected.
+	src := chainSource(t)
+	sql := `
+SELECT r1.id FROM r1 AS r1, r2 AS r2, r3 AS r3, r4 AS r4
+WHERE r2.k = r1.k AND r2.k = r3.k AND r2.k = r4.k`
+	spec, rels := analyze(t, src, sql)
+
+	withStop := Options{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: true}
+	without := Options{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: false}
+
+	out1, st1, err := SemiJoinReduce(spec, rels, nil, withStop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, rels2 := analyze(t, src, sql)
+	out2, st2, err := SemiJoinReduce(spec2, rels2, nil, without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.SemiJoins >= st2.SemiJoins {
+		t.Errorf("early stop did not save semi-joins: %d vs %d", st1.SemiJoins, st2.SemiJoins)
+	}
+	if !sameRelation(out1["r1"], out2["r1"]) {
+		t.Error("early stop changed the projected relation's reduction")
+	}
+}
+
+func sameRelation(a, b *engine.Relation) bool {
+	as, bs := renderSorted(a), renderSorted(b)
+	return strings.Join(as, "\n") == strings.Join(bs, "\n")
+}
+
+func renderSorted(r *engine.Relation) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestFoldJoinGraphTriangle(t *testing.T) {
+	src := memSource{
+		"a": mkTable(t, "a", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1), ir(2, 2)),
+		"b": mkTable(t, "b", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1), ir(2, 3)),
+		"c": mkTable(t, "c", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1), ir(2, 2)),
+	}
+	spec, rels := analyze(t, src, `
+		SELECT a.id, b.id, c.id FROM a AS a, b AS b, c AS c
+		WHERE a.k = b.k AND b.k = c.k AND a.k = c.k`)
+	g, err := BuildGraph(spec, rels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Stats{}
+	if err := FoldJoinGraph(g, FoldMaxDegree, st); err != nil {
+		t.Fatal(err)
+	}
+	if g.IsCyclic() {
+		t.Error("graph still cyclic after folding")
+	}
+	if st.Folds == 0 {
+		t.Error("no folds recorded")
+	}
+	// One fold of a triangle leaves 2 nodes and 1 merged edge.
+	if len(g.Nodes) != 2 || len(g.Edges) != 1 {
+		t.Errorf("nodes=%d edges=%d after fold", len(g.Nodes), len(g.Edges))
+	}
+	foundFold := false
+	for _, n := range g.Nodes {
+		if n.IsFold() {
+			foundFold = true
+			if len(n.Rel.Cols) != 4 {
+				t.Errorf("fold has %d cols, want 4", len(n.Rel.Cols))
+			}
+		}
+	}
+	if !foundFold {
+		t.Error("no fold node present")
+	}
+}
+
+func TestFoldStrategiesAllTerminate(t *testing.T) {
+	for _, strat := range []FoldStrategy{FoldMaxDegree, FoldFirst, FoldMinCard} {
+		src := memSource{
+			"a": mkTable(t, "a", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1)),
+			"b": mkTable(t, "b", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1)),
+			"c": mkTable(t, "c", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1)),
+			"d": mkTable(t, "d", []catalog.Column{intCol("id"), intCol("k")}, ir(1, 1)),
+		}
+		// K4: every pair joined — multiple cycles (the paper's JG 1 shape).
+		spec, rels := analyze(t, src, `
+			SELECT a.id, b.id, c.id, d.id FROM a AS a, b AS b, c AS c, d AS d
+			WHERE a.k = b.k AND a.k = c.k AND a.k = d.k
+			  AND b.k = c.k AND b.k = d.k AND c.k = d.k`)
+		g, err := BuildGraph(spec, rels, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &Stats{}
+		if err := FoldJoinGraph(g, strat, st); err != nil {
+			t.Fatalf("strategy %d: %v", strat, err)
+		}
+		if g.IsCyclic() {
+			t.Errorf("strategy %d left a cyclic graph", strat)
+		}
+	}
+}
+
+func TestSemiJoinReduceCyclicMatchesDecompose(t *testing.T) {
+	src := memSource{
+		"a": mkTable(t, "a", []catalog.Column{intCol("id"), intCol("k")},
+			ir(1, 1), ir(2, 2), ir(3, 3)),
+		"b": mkTable(t, "b", []catalog.Column{intCol("id"), intCol("k")},
+			ir(1, 1), ir(2, 2), ir(3, 9)),
+		"c": mkTable(t, "c", []catalog.Column{intCol("id"), intCol("k")},
+			ir(1, 1), ir(2, 8)),
+	}
+	sql := `SELECT a.id, b.id, c.id FROM a AS a, b AS b, c AS c
+		WHERE a.k = b.k AND b.k = c.k AND a.k = c.k`
+	assertReduceMatchesDecompose(t, src, sql)
+}
+
+// assertReduceMatchesDecompose checks Theorem 4.4 for one query: the native
+// algorithm's reduced relations (projected, deduped) equal the Decompose of
+// the single-table result.
+func assertReduceMatchesDecompose(t *testing.T, src engine.Source, sql string) {
+	t.Helper()
+	spec, rels := analyze(t, src, sql)
+	reduced, _, err := SemiJoinReduce(spec, rels, nil, DefaultOptions())
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	ex := &engine.Executor{Src: src}
+	joined, err := ex.RunSPJ(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Decompose(joined, spec.OutputRels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alias := range spec.OutputRels() {
+		key := strings.ToLower(alias)
+		got := reduced[key].Distinct()
+		want := oracle[key]
+		if !sameRelation(got, want) {
+			t.Errorf("%s: relation %s mismatch:\nreduced: %v\ndecompose: %v",
+				sql, alias, renderSorted(got), renderSorted(want))
+		}
+	}
+}
+
+func TestRootStrategies(t *testing.T) {
+	spec, rels := analyze(t, chainSource(t), chainQuery)
+	for _, strat := range []RootStrategy{RootHeuristic, RootFirst, RootMaxDegree} {
+		spec2, rels2 := spec, rels
+		_ = spec2
+		reduced, st, err := SemiJoinReduce(spec, rels2, nil, Options{Root: strat, EarlyStop: false})
+		if err != nil {
+			t.Fatalf("strategy %d: %v", strat, err)
+		}
+		if st.Root == "" {
+			t.Errorf("strategy %d: no root recorded", strat)
+		}
+		if len(reduced["r1"].Rows) != 1 {
+			t.Errorf("strategy %d: r1 rows = %d", strat, len(reduced["r1"].Rows))
+		}
+		// Rebuild rels: the reduction mutates node relations but not the
+		// input map's relations (SemiJoin allocates new row slices); verify.
+		if len(rels["r1"].Rows) != 3 {
+			t.Fatalf("input relations mutated: r1 has %d rows", len(rels["r1"].Rows))
+		}
+	}
+	// The heuristic must pick a projected relation as root.
+	_, st, err := SemiJoinReduce(spec, rels, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Root != "r1" && st.Root != "r4" {
+		t.Errorf("heuristic root = %s, want a projected relation (r1/r4)", st.Root)
+	}
+}
+
+func TestPostJoinReconstruction(t *testing.T) {
+	src := chainSource(t)
+	sel, _ := sqlparse.ParseSelect(chainQuery)
+	spec, err := engine.AnalyzeSPJ(sel, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &engine.Executor{Src: src}
+	// Original single-table result.
+	orig, err := ex.Select(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reduce with relationship-preserving outputs: every relation with
+	// non-empty A_i* (all four here, since all have join attributes).
+	rels, _ := ex.BaseRelations(spec)
+	outputs := []string{"r1", "r2", "r3", "r4"}
+	reduced, _, err := SemiJoinReduce(spec, rels, outputs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Project each to A_i* and post-join.
+	rpRels := make(map[string]*engine.Relation)
+	for _, alias := range outputs {
+		attrs := RelationshipPreservingAttrs(spec, alias)
+		cols := make([]int, len(attrs))
+		for i, a := range attrs {
+			idx, err := reduced[alias].ColIndex(alias, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cols[i] = idx
+		}
+		rpRels[alias] = reduced[alias].Project(cols).Distinct()
+	}
+	post, err := PostJoin(spec.JoinPreds, rpRels, spec.Projection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRelation(post, orig) {
+		t.Fatalf("post-join mismatch:\npost: %v\norig: %v", renderSorted(post), renderSorted(orig))
+	}
+}
+
+func TestRelationshipPreservingAttrs(t *testing.T) {
+	src := chainSource(t)
+	sel, _ := sqlparse.ParseSelect(chainQuery)
+	spec, _ := engine.AnalyzeSPJ(sel, src)
+	if got := strings.Join(RelationshipPreservingAttrs(spec, "r1"), ","); got != "id,k" {
+		t.Errorf("r1 attrs = %s", got)
+	}
+	if got := strings.Join(RelationshipPreservingAttrs(spec, "r2"), ","); got != "k" {
+		t.Errorf("r2 attrs = %s", got)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	rel := &engine.Relation{Cols: []engine.ColRef{{Rel: "a", Name: "x"}}}
+	if _, err := Decompose(rel, []string{"missing"}); err == nil {
+		t.Error("Decompose with unknown alias should fail")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := &Stats{Cyclic: true, Folds: 2, SemiJoins: 5, Root: "t", EarlyStopped: true}
+	s := st.String()
+	for _, want := range []string{"root=t", "semijoins=5", "folds=2", "cyclic", "early-stop"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Stats.String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resultdb/internal/catalog"
+	"resultdb/internal/engine"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/storage"
+	"resultdb/internal/types"
+)
+
+// randomDB builds a random database: nTables tables, each with a unique id
+// column plus 2 small-domain join/filter columns, so random equi-joins
+// actually match.
+func randomDB(rng *rand.Rand, nTables int) memSource {
+	src := memSource{}
+	for i := 0; i < nTables; i++ {
+		name := fmt.Sprintf("t%d", i)
+		def := catalog.MustTableDef(name, []catalog.Column{
+			{Name: "id", Type: types.KindInt},
+			{Name: "j1", Type: types.KindInt},
+			{Name: "j2", Type: types.KindInt},
+		})
+		def.PrimaryKey = []string{"id"}
+		tab := storage.NewTable(def)
+		rows := 3 + rng.Intn(25)
+		for r := 0; r < rows; r++ {
+			row := types.Row{
+				types.NewInt(int64(r)),
+				types.NewInt(int64(rng.Intn(5))),
+				types.NewInt(int64(rng.Intn(4))),
+			}
+			if err := tab.Insert(row); err != nil {
+				panic(err)
+			}
+		}
+		src[name] = tab
+	}
+	return src
+}
+
+// randomQuery builds a random connected SPJ query over 2-4 relation
+// instances (table reuse allowed → self-joins), with optional cycle edges
+// and random filters, projecting 1-2 columns from a random subset of
+// relations.
+func randomQuery(rng *rand.Rand, nTables int) string {
+	n := 2 + rng.Intn(3)
+	aliases := make([]string, n)
+	var from []string
+	for i := range aliases {
+		aliases[i] = fmt.Sprintf("x%d", i)
+		from = append(from, fmt.Sprintf("t%d AS %s", rng.Intn(nTables), aliases[i]))
+	}
+	joinCols := []string{"j1", "j2", "id"}
+	var preds []string
+	// Spanning tree: connect each alias i>0 to a random earlier alias.
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		preds = append(preds, fmt.Sprintf("%s.%s = %s.%s",
+			aliases[i], joinCols[rng.Intn(2)], aliases[j], joinCols[rng.Intn(2)]))
+	}
+	// Optional extra edges (cycles).
+	for e := 0; e < rng.Intn(3); e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		preds = append(preds, fmt.Sprintf("%s.%s = %s.%s",
+			aliases[a], joinCols[rng.Intn(2)], aliases[b], joinCols[rng.Intn(2)]))
+	}
+	// Random filters.
+	for f := 0; f < rng.Intn(3); f++ {
+		a := aliases[rng.Intn(n)]
+		switch rng.Intn(3) {
+		case 0:
+			preds = append(preds, fmt.Sprintf("%s.j1 < %d", a, 1+rng.Intn(5)))
+		case 1:
+			preds = append(preds, fmt.Sprintf("%s.id > %d", a, rng.Intn(10)))
+		default:
+			preds = append(preds, fmt.Sprintf("%s.j2 = %d", a, rng.Intn(4)))
+		}
+	}
+	// Projection: 1..n relations, 1-2 columns each.
+	nProj := 1 + rng.Intn(n)
+	perm := rng.Perm(n)
+	var items []string
+	for _, idx := range perm[:nProj] {
+		items = append(items, aliases[idx]+".id")
+		if rng.Intn(2) == 0 {
+			items = append(items, aliases[idx]+".j1")
+		}
+	}
+	return fmt.Sprintf("SELECT %s FROM %s WHERE %s",
+		strings.Join(items, ", "), strings.Join(from, ", "), strings.Join(preds, " AND "))
+}
+
+// TestTheorem44RandomQueries is the paper's correctness theorem as a
+// property test: on random databases and random (possibly cyclic, possibly
+// self-joining) SPJ queries, the native RESULTDB-SEMIJOIN algorithm produces
+// exactly Decompose(single-table result) for every output relation, under
+// every strategy combination.
+func TestTheorem44RandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	optsList := []Options{
+		{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: true, AlphaReduce: true},
+		{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: false},
+		{Root: RootFirst, Fold: FoldFirst, EarlyStop: true},
+		{Root: RootMaxDegree, Fold: FoldMinCard, EarlyStop: true},
+		// Bloom prefiltering must stay exact despite false positives; a
+		// very sloppy rate stresses the exactness of the follow-up passes.
+		{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: true, BloomPrefilter: true, BloomFPRate: 0.3},
+	}
+	const trials = 300
+	checked := 0
+	for trial := 0; trial < trials; trial++ {
+		nTables := 2 + rng.Intn(3)
+		src := randomDB(rng, nTables)
+		sql := randomQuery(rng, nTables)
+
+		sel, err := sqlparse.ParseSelect(sql)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, sql, err)
+		}
+		spec, err := engine.AnalyzeSPJ(sel, src)
+		if err != nil {
+			t.Fatalf("trial %d: analyze %q: %v", trial, sql, err)
+		}
+		ex := &engine.Executor{Src: src}
+		joined, err := ex.RunSPJ(spec)
+		if err != nil {
+			t.Fatalf("trial %d: ST %q: %v", trial, sql, err)
+		}
+		oracle, err := Decompose(joined, spec.OutputRels())
+		if err != nil {
+			t.Fatalf("trial %d: decompose: %v", trial, err)
+		}
+		for _, opts := range optsList {
+			rels, err := ex.BaseRelations(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reduced, _, err := SemiJoinReduce(spec, rels, nil, opts)
+			if err != nil {
+				t.Fatalf("trial %d opts %+v: %q: %v", trial, opts, sql, err)
+			}
+			for _, alias := range spec.OutputRels() {
+				key := strings.ToLower(alias)
+				got := reduced[key].Distinct()
+				want := oracle[key]
+				if !sameRelation(got, want) {
+					t.Fatalf("trial %d opts %+v: %q relation %s:\nreduced:   %v\ndecompose: %v",
+						trial, opts, sql, alias, renderSorted(got), renderSorted(want))
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no trials executed")
+	}
+}
+
+// TestPostJoinReconstructionRandom property-checks Definition 2.3: joining
+// the relationship-preserving subdatabase reproduces the single-table
+// result, on random queries.
+func TestPostJoinReconstructionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		nTables := 2 + rng.Intn(3)
+		src := randomDB(rng, nTables)
+		sql := randomQuery(rng, nTables)
+		sel, err := sqlparse.ParseSelect(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := engine.AnalyzeSPJ(sel, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := &engine.Executor{Src: src}
+		orig, err := ex.Select(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Build the RDBRP subdatabase: every relation with A_i* non-empty.
+		var outputs []string
+		for _, r := range spec.Rels {
+			if len(spec.ProjectionOf(r.Alias)) > 0 || len(spec.JoinAttrsOf(r.Alias)) > 0 {
+				outputs = append(outputs, r.Alias)
+			}
+		}
+		rels, err := ex.BaseRelations(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reduced, _, err := SemiJoinReduce(spec, rels, outputs, DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %q: %v", trial, sql, err)
+		}
+		rp := make(map[string]*engine.Relation, len(outputs))
+		for _, alias := range outputs {
+			attrs := RelationshipPreservingAttrs(spec, alias)
+			cols := make([]int, len(attrs))
+			for i, a := range attrs {
+				idx, err := reduced[strings.ToLower(alias)].ColIndex(alias, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cols[i] = idx
+			}
+			rp[strings.ToLower(alias)] = reduced[strings.ToLower(alias)].Project(cols).Distinct()
+		}
+		post, err := PostJoin(spec.JoinPreds, rp, spec.Projection)
+		if err != nil {
+			t.Fatalf("trial %d: post-join %q: %v", trial, sql, err)
+		}
+		// Bag semantics caveat: deduplicating the reduced relations can
+		// change result multiplicities only if a base relation held exact
+		// duplicate A_i* tuples — impossible here because id is unique and
+		// always included via the projection or join attrs? Not quite: a
+		// relation may participate via j1/j2 only. Compare as sets.
+		if !sameRelationSet(post, orig) {
+			t.Fatalf("trial %d: %q:\npost: %v\norig: %v",
+				trial, sql, renderSorted(post.Distinct()), renderSorted(orig.Distinct()))
+		}
+	}
+}
+
+func sameRelationSet(a, b *engine.Relation) bool {
+	return sameRelation(a.Distinct(), b.Distinct())
+}

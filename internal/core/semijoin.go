@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"resultdb/internal/engine"
+)
+
+// SemiJoinReduce is the paper's RESULTDB-SEMIJOIN algorithm (Algorithm 4):
+//
+//	(1) if the join graph is cyclic, fold it acyclic (Algorithm 3),
+//	(2) reduce all relations with Yannakakis' passes (Algorithm 2),
+//	(3) decompose folds back into their base relations,
+//	(4) remove duplicates introduced by decomposition.
+//
+// Input: the analyzed query, its filtered base relations (keyed by
+// lower-cased alias, as produced by engine scans with pushed-down filters),
+// and the aliases to return (nil means the projected relations,
+// Definition 2.2; pass every relation with non-empty A_i* for
+// Definition 2.3). Output: for every requested alias, the fully reduced
+// base relation at full width; the caller projects to A_i or A_i* and
+// deduplicates after projection.
+func SemiJoinReduce(spec *engine.SPJSpec, rels map[string]*engine.Relation, outputs []string, opts Options) (map[string]*engine.Relation, *Stats, error) {
+	st := &Stats{}
+	g, err := BuildGraph(spec, rels, outputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if outputs == nil {
+		outputs = spec.OutputRels()
+	}
+	st.Cyclic = g.IsCyclic()
+	if st.Cyclic && opts.AlphaReduce {
+		// α-reduction: drop transitively implied predicates; a JG-cyclic
+		// but α-acyclic query becomes a tree and needs no folding.
+		DropImpliedEdges(g, st)
+		if opts.Trace != nil && st.ImpliedEdgesDropped > 0 {
+			opts.Trace(fmt.Sprintf("alpha-reduction dropped %d implied edge(s)", st.ImpliedEdgesDropped))
+		}
+	}
+	if g.IsCyclic() {
+		if opts.Trace != nil {
+			opts.Trace(fmt.Sprintf("join graph cyclic (%d nodes, %d edges); folding", len(g.Nodes), len(g.Edges)))
+		}
+		if err := foldJoinGraphTrace(g, opts.Fold, st, opts.Trace); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := ReduceRelations(g, opts, st); err != nil {
+		return nil, nil, err
+	}
+
+	out := make(map[string]*engine.Relation)
+	for _, n := range g.Nodes {
+		if n.IsFold() {
+			// Decompose the fold: project out each contained base relation
+			// and deduplicate (the join may have multiplied its tuples).
+			for _, alias := range n.Aliases {
+				if !g.projected[strings.ToLower(alias)] {
+					continue
+				}
+				base := n.Rel.Project(n.Rel.ColumnsOf(alias)).Distinct()
+				out[strings.ToLower(alias)] = base
+			}
+			continue
+		}
+		alias := n.Aliases[0]
+		if !g.projected[strings.ToLower(alias)] {
+			continue
+		}
+		out[strings.ToLower(alias)] = n.Rel
+	}
+	// Sanity: every requested alias must be present.
+	for _, alias := range outputs {
+		if _, ok := out[strings.ToLower(alias)]; !ok {
+			return nil, nil, fmt.Errorf("core: output relation %q missing after reduction (bug)", alias)
+		}
+	}
+	return out, st, nil
+}
+
+// Decompose is the paper's Decompose operator (Section 6.3): split a
+// single-table join result back into its per-relation components and remove
+// duplicates. It is placed on top of a standard plan to give the ResultDB
+// output from a single-table execution, and serves as the correctness oracle
+// for SemiJoinReduce (Theorem 4.4).
+//
+// joined must carry alias-qualified columns for every alias in aliases
+// (engine.Executor.RunSPJ produces exactly that).
+func Decompose(joined *engine.Relation, aliases []string) (map[string]*engine.Relation, error) {
+	out := make(map[string]*engine.Relation, len(aliases))
+	for _, alias := range aliases {
+		cols := joined.ColumnsOf(alias)
+		if len(cols) == 0 {
+			return nil, fmt.Errorf("core: decompose: no columns for relation %q", alias)
+		}
+		out[strings.ToLower(alias)] = joined.Project(cols).Distinct()
+	}
+	return out, nil
+}
+
+// PostJoin reconstructs the single-table result from a relationship-
+// preserving subdatabase (Definition 2.3): join the reduced relations on the
+// original join predicates and project to the original attributes. Filters
+// are not re-applied — the reduced relations already satisfy them.
+func PostJoin(preds []engine.JoinPred, rels map[string]*engine.Relation, projection []engine.Attr) (*engine.Relation, error) {
+	joined, err := engine.JoinAll(preds, rels)
+	if err != nil {
+		return nil, err
+	}
+	if projection == nil {
+		return joined, nil
+	}
+	cols := make([]int, len(projection))
+	for i, a := range projection {
+		idx, err := joined.ColIndex(a.Rel, a.Col)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = idx
+	}
+	return joined.Project(cols), nil
+}
+
+// RelationshipPreservingAttrs returns A_i* = A_i ∪ A_i^J of Definition 2.3
+// for one alias: the projected attributes extended by the attributes needed
+// to compute the post-join, in stable order without duplicates.
+func RelationshipPreservingAttrs(spec *engine.SPJSpec, alias string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(col string) {
+		key := strings.ToLower(col)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, col)
+		}
+	}
+	for _, col := range spec.ProjectionOf(alias) {
+		add(col)
+	}
+	for _, col := range spec.JoinAttrsOf(alias) {
+		add(col)
+	}
+	return out
+}

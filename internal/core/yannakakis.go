@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"resultdb/internal/bloom"
+	"resultdb/internal/engine"
+)
+
+// ErrDisconnected reports a join graph whose relations are not all
+// connected by join predicates (a cross product). Semi-join reduction
+// cannot reduce across a cross product; callers fall back to the Decompose
+// strategy.
+var ErrDisconnected = errors.New("core: join graph is disconnected; cross products cannot be semi-join reduced")
+
+// RootStrategy selects the root node for the Yannakakis passes (the paper's
+// Root Node Enumeration Problem, Section 4.2).
+type RootStrategy uint8
+
+const (
+	// RootHeuristic is the paper's default: prefer relations included in
+	// the projections, prioritizing higher degree among those.
+	RootHeuristic RootStrategy = iota
+	// RootFirst picks the first node (a naive baseline for ablations).
+	RootFirst
+	// RootMaxDegree picks the highest-degree node regardless of projection.
+	RootMaxDegree
+)
+
+// bfsEdge is one tree edge directed away from the root.
+type bfsEdge struct {
+	parent, child *Node
+	edge          *Edge
+}
+
+// chooseRoot implements step (0) of Algorithm 2 under the given strategy.
+func chooseRoot(g *Graph, strategy RootStrategy) *Node {
+	if len(g.Nodes) == 0 {
+		return nil
+	}
+	candidates := append([]*Node(nil), g.Nodes...)
+	switch strategy {
+	case RootFirst:
+		return g.Nodes[0]
+	case RootMaxDegree:
+		sortNodesDeterministic(candidates, func(a, b *Node) bool {
+			return g.Degree(a) > g.Degree(b)
+		})
+		return candidates[0]
+	default:
+		// Projected relations first, then higher degree (Section 4.2).
+		sortNodesDeterministic(candidates, func(a, b *Node) bool {
+			pa, pb := g.Projected(a), g.Projected(b)
+			if pa != pb {
+				return pa
+			}
+			return g.Degree(a) > g.Degree(b)
+		})
+		return candidates[0]
+	}
+}
+
+// bfsEdges orders the tree's edges in breadth-first order from root, each
+// directed parent -> child (step before (1) in Algorithm 2).
+func bfsEdges(g *Graph, root *Node) ([]bfsEdge, error) {
+	visited := map[*Node]bool{root: true}
+	queue := []*Node{root}
+	var order []bfsEdge
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.EdgesOf(n) {
+			o := e.Other(n)
+			if visited[o] {
+				continue
+			}
+			visited[o] = true
+			order = append(order, bfsEdge{parent: n, child: o, edge: e})
+			queue = append(queue, o)
+		}
+	}
+	if len(visited) != len(g.Nodes) {
+		return nil, fmt.Errorf("%w (%d of %d nodes reachable)", ErrDisconnected, len(visited), len(g.Nodes))
+	}
+	return order, nil
+}
+
+// semiJoinNodes reduces target by source along edge e (target ⋉ source),
+// returning whether target shrank.
+func semiJoinNodes(target, source *Node, e *Edge, st *Stats, trace func(string)) error {
+	var tCols, sCols []int
+	var err error
+	if e.X == target {
+		tCols, sCols, err = edgeCols(e)
+	} else {
+		sCols, tCols, err = edgeCols(e)
+		// edgeCols returns (xCols, yCols); swap puts target first.
+	}
+	if err != nil {
+		return err
+	}
+	before := len(target.Rel.Rows)
+	target.Rel = engine.SemiJoin(target.Rel, tCols, source.Rel, sCols)
+	st.SemiJoins++
+	st.TuplesDropped += before - len(target.Rel.Rows)
+	if trace != nil {
+		trace(fmt.Sprintf("semi-join %s ⋉ %s  rows: %d -> %d",
+			target.Name(), source.Name(), before, len(target.Rel.Rows)))
+	}
+	return nil
+}
+
+// bloomSemiJoinNodes reduces target by an approximate membership test on
+// source's join keys. It may retain false positives but never drops a
+// matching tuple.
+func bloomSemiJoinNodes(target, source *Node, e *Edge, fpRate float64, st *Stats) error {
+	var tCols, sCols []int
+	var err error
+	if e.X == target {
+		tCols, sCols, err = edgeCols(e)
+	} else {
+		sCols, tCols, err = edgeCols(e)
+	}
+	if err != nil {
+		return err
+	}
+	f := bloom.New(len(source.Rel.Rows), fpRate)
+	for _, row := range source.Rel.Rows {
+		f.AddKey(row, sCols)
+	}
+	out := &engine.Relation{Cols: target.Rel.Cols}
+	for _, row := range target.Rel.Rows {
+		if f.ContainsKey(row, tCols) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	st.BloomSemiJoins++
+	st.BloomDropped += len(target.Rel.Rows) - len(out.Rows)
+	target.Rel = out
+	return nil
+}
+
+// ReduceRelations is Algorithm 2: fully reduce every relation of an acyclic
+// join graph with one bottom-up and one top-down pass of semi-joins.
+//
+// With opts.EarlyStop (the Section 6.3 optimization) the top-down pass skips
+// subtrees that contain no projected relation, and stops entirely once every
+// projected node has been reduced.
+func ReduceRelations(g *Graph, opts Options, st *Stats) error {
+	if g.IsCyclic() {
+		return fmt.Errorf("core: ReduceRelations requires an acyclic join graph")
+	}
+	if len(g.Nodes) <= 1 {
+		return nil
+	}
+	root := chooseRoot(g, opts.Root)
+	st.Root = root.Name()
+	if opts.Trace != nil {
+		opts.Trace(fmt.Sprintf("root: %s (degree %d, projected %v)",
+			root.Name(), g.Degree(root), g.Projected(root)))
+	}
+	order, err := bfsEdges(g, root)
+	if err != nil {
+		return err
+	}
+
+	// (0) Optional Bloom prefilter: the same two passes with approximate
+	// membership tests; shrinks inputs before the exact passes.
+	if opts.BloomPrefilter {
+		fp := opts.BloomFPRate
+		if fp <= 0 {
+			fp = 0.01
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			be := order[i]
+			if err := bloomSemiJoinNodes(be.parent, be.child, be.edge, fp, st); err != nil {
+				return err
+			}
+		}
+		for _, be := range order {
+			if err := bloomSemiJoinNodes(be.child, be.parent, be.edge, fp, st); err != nil {
+				return err
+			}
+		}
+	}
+
+	// (1) Bottom-up: reduce parents by children, leaves towards root.
+	for i := len(order) - 1; i >= 0; i-- {
+		be := order[i]
+		if err := semiJoinNodes(be.parent, be.child, be.edge, st, opts.Trace); err != nil {
+			return err
+		}
+	}
+
+	// (2) Top-down: reduce children by parents, root towards leaves.
+	var needed map[*Node]bool
+	if opts.EarlyStop {
+		needed = subtreesWithProjection(g, order)
+	}
+	remainingProjected := 0
+	if opts.EarlyStop {
+		for _, n := range g.Nodes {
+			if g.Projected(n) && n != root {
+				remainingProjected++
+			}
+		}
+	}
+	for _, be := range order {
+		if opts.EarlyStop {
+			if remainingProjected == 0 {
+				st.EarlyStopped = true
+				if opts.Trace != nil {
+					opts.Trace("early stop: all output relations fully reduced")
+				}
+				break
+			}
+			if !needed[be.child] {
+				st.SkippedSemiJoins++
+				if opts.Trace != nil {
+					opts.Trace("skip top-down into " + be.child.Name() + " (no output relation in subtree)")
+				}
+				continue
+			}
+		}
+		if err := semiJoinNodes(be.child, be.parent, be.edge, st, opts.Trace); err != nil {
+			return err
+		}
+		if opts.EarlyStop && g.Projected(be.child) {
+			remainingProjected--
+		}
+	}
+	return nil
+}
+
+// subtreesWithProjection marks, for every node, whether its subtree (under
+// the BFS orientation) contains a projected node. Children of unmarked
+// subtrees never influence the output and need no top-down reduction.
+func subtreesWithProjection(g *Graph, order []bfsEdge) map[*Node]bool {
+	marked := make(map[*Node]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		marked[n] = g.Projected(n)
+	}
+	// Children appear after their parents in BFS order; walking the edges
+	// backwards propagates marks from leaves to the root.
+	for i := len(order) - 1; i >= 0; i-- {
+		be := order[i]
+		if marked[be.child] {
+			marked[be.parent] = true
+		}
+	}
+	return marked
+}
+
+// Options configures the RESULTDB-SEMIJOIN algorithm.
+type Options struct {
+	// Root selects the root-node strategy (default: the paper heuristic).
+	Root RootStrategy
+	// Fold selects the folding strategy (default: highest degree).
+	Fold FoldStrategy
+	// EarlyStop enables the Section 6.3 optimization: stop the top-down
+	// pass once all projected relations are fully reduced.
+	EarlyStop bool
+	// BloomPrefilter runs a cheap Bloom-filter pass over the same semi-join
+	// schedule before the exact passes (a correctness-preserving adaptation
+	// of predicate transfer, Section 5 related work): the Bloom pass may
+	// keep false positives but never drops a contributing tuple, and the
+	// subsequent exact passes remove the strays.
+	BloomPrefilter bool
+	// BloomFPRate is the target false-positive rate of the prefilter
+	// (default 0.01 when zero).
+	BloomFPRate float64
+	// AlphaReduce drops join-graph edges whose predicates are implied by
+	// transitivity before checking for cycles, so α-acyclic-but-JG-cyclic
+	// queries (Section 4.1's gap between the two notions) skip folding
+	// entirely. Exact: only logically redundant predicates are removed.
+	AlphaReduce bool
+	// Trace, when non-nil, receives one line per algorithm step (root
+	// choice, folds, semi-joins with cardinalities); EXPLAIN uses it.
+	Trace func(string)
+}
+
+// DefaultOptions mirror the paper's implementation choices, plus the
+// α-reduction extension (exact and strictly work-saving).
+func DefaultOptions() Options {
+	return Options{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: true, AlphaReduce: true}
+}
+
+// Stats reports what the algorithm did; the ablation benches and tests
+// inspect it.
+type Stats struct {
+	Cyclic           bool
+	Folds            int
+	SemiJoins        int
+	SkippedSemiJoins int
+	TuplesDropped    int
+	EarlyStopped     bool
+	Root             string
+	// BloomSemiJoins and BloomDropped count the prefilter pass's work.
+	BloomSemiJoins int
+	BloomDropped   int
+	// ImpliedEdgesDropped counts join-graph edges removed by α-reduction.
+	ImpliedEdgesDropped int
+}
+
+// String summarizes the stats on one line.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root=%s semijoins=%d skipped=%d dropped=%d folds=%d",
+		s.Root, s.SemiJoins, s.SkippedSemiJoins, s.TuplesDropped, s.Folds)
+	if s.Cyclic {
+		b.WriteString(" cyclic")
+	}
+	if s.ImpliedEdgesDropped > 0 {
+		fmt.Fprintf(&b, " implied-edges-dropped=%d", s.ImpliedEdgesDropped)
+	}
+	if s.EarlyStopped {
+		b.WriteString(" early-stop")
+	}
+	return b.String()
+}

@@ -1,0 +1,444 @@
+// Package db is the user-facing database facade of the reproduction: a
+// main-memory DBMS executing SQL text, with materialized views, multi-cursor
+// results, and the paper's SELECT RESULTDB extension in both the native
+// semi-join variant (Section 4) and the Decompose-on-top-of-a-standard-plan
+// variant (Section 6.3).
+package db
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"resultdb/internal/catalog"
+	"resultdb/internal/core"
+	"resultdb/internal/engine"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/storage"
+	"resultdb/internal/types"
+)
+
+// Strategy selects how SELECT RESULTDB is executed.
+type Strategy uint8
+
+const (
+	// StrategySemiJoin runs the native RESULTDB-SEMIJOIN algorithm
+	// (Algorithm 4): fold cycles, Yannakakis reduction, decompose folds.
+	StrategySemiJoin Strategy = iota
+	// StrategyDecompose runs the single-table plan and splits the joined
+	// result with the Decompose operator (the Section 6.3 baseline).
+	StrategyDecompose
+)
+
+// Mode selects the subdatabase flavor (Section 6, "Query Types").
+type Mode uint8
+
+const (
+	// ModeRDB returns exactly the projected attributes A_i per relation
+	// (Definition 2.2).
+	ModeRDB Mode = iota
+	// ModeRDBRP additionally returns the join attributes, producing a
+	// relationship-preserving subdatabase (Definition 2.3) from which the
+	// single-table result can be reconstructed by a post-join.
+	ModeRDBRP
+)
+
+// Database is a main-memory relational database. All exported methods are
+// safe for concurrent use: statements take a coarse read or write lock, so
+// every statement sees a committed state. BEGIN/COMMIT group statements
+// syntactically (the engine is single-writer; snapshot isolation across a
+// transaction's statements is trivially satisfied in the single-threaded
+// benchmark harnesses and is not otherwise enforced).
+type Database struct {
+	mu     sync.RWMutex
+	cat    *catalog.Catalog
+	tables map[string]*storage.Table
+
+	// Strategy and CoreOptions configure RESULTDB execution.
+	Strategy    Strategy
+	CoreOptions core.Options
+	// DPJoinOrder enables the DPsize join-order optimizer for single-table
+	// plans (the greedy live-cardinality order is the default).
+	DPJoinOrder bool
+}
+
+// New returns an empty database with the paper-default RESULTDB options.
+func New() *Database {
+	return &Database{
+		cat:         catalog.New(),
+		tables:      make(map[string]*storage.Table),
+		Strategy:    StrategySemiJoin,
+		CoreOptions: core.DefaultOptions(),
+	}
+}
+
+// ResultSet is one cursor of a result: the minimally invasive API extension
+// the paper proposes (Section 7, "API Integration") — a query returns a set
+// of cursors instead of exactly one.
+type ResultSet struct {
+	// Name labels the set; for subdatabase results it is the relation
+	// alias, for single-table results "result".
+	Name    string
+	Columns []string
+	Rows    []types.Row
+}
+
+// WireSize returns the Section 6.1 result-set size in bytes.
+func (rs *ResultSet) WireSize() int {
+	n := 0
+	for _, r := range rs.Rows {
+		n += r.WireSize()
+	}
+	return n
+}
+
+// NumRows returns the number of rows.
+func (rs *ResultSet) NumRows() int { return len(rs.Rows) }
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Sets holds one set for single-table queries, one per output relation
+	// for RESULTDB queries, and none for DDL/DML.
+	Sets []*ResultSet
+	// Affected counts inserted rows for INSERT.
+	Affected int
+	// Stats reports what the native RESULTDB algorithm did, when it ran.
+	Stats *core.Stats
+	// PostJoinPlan is attached to relationship-preserving (RDBRP) results:
+	// the shipped recipe for reconstructing the single-table result
+	// client-side (the Section 7 "subdatabase snapshot" extension).
+	PostJoinPlan *PostJoinPlan
+}
+
+// First returns the first result set (the single-table result), or nil.
+func (r *Result) First() *ResultSet {
+	if len(r.Sets) == 0 {
+		return nil
+	}
+	return r.Sets[0]
+}
+
+// Set returns the result set named name (case-insensitive), or nil.
+func (r *Result) Set(name string) *ResultSet {
+	for _, s := range r.Sets {
+		if strings.EqualFold(s.Name, name) {
+			return s
+		}
+	}
+	return nil
+}
+
+// WireSize sums the sizes of all result sets.
+func (r *Result) WireSize() int {
+	n := 0
+	for _, s := range r.Sets {
+		n += s.WireSize()
+	}
+	return n
+}
+
+// executor builds an engine executor honoring the database's settings.
+func (d *Database) executor() *engine.Executor {
+	return &engine.Executor{Src: d, DPJoinOrder: d.DPJoinOrder}
+}
+
+// Table implements engine.Source.
+func (d *Database) Table(name string) (*storage.Table, error) {
+	if t, ok := d.tables[strings.ToLower(name)]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("db: table %q does not exist", name)
+}
+
+// Catalog exposes the schema catalog (read-only use).
+func (d *Database) Catalog() *catalog.Catalog { return d.cat }
+
+// CreateTable registers a new table from a definition; used by workload
+// generators that bypass SQL for bulk loading.
+func (d *Database) CreateTable(def *catalog.TableDef) (*storage.Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.createTableLocked(def)
+}
+
+func (d *Database) createTableLocked(def *catalog.TableDef) (*storage.Table, error) {
+	if err := d.cat.Create(def); err != nil {
+		return nil, err
+	}
+	t := storage.NewTable(def)
+	d.tables[strings.ToLower(def.Name)] = t
+	return t, nil
+}
+
+// Exec parses and executes a single SQL statement.
+func (d *Database) Exec(sql string) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return d.ExecStatement(st)
+}
+
+// ExecScript executes a semicolon-separated script, returning one result per
+// statement. Execution stops at the first error.
+func (d *Database) ExecScript(sql string) ([]*Result, error) {
+	stmts, err := sqlparse.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for _, st := range stmts {
+		r, err := d.ExecStatement(st)
+		if err != nil {
+			return out, fmt.Errorf("db: statement %q: %w", st.SQL(), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExecStatement executes a parsed statement.
+func (d *Database) ExecStatement(st sqlparse.Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *sqlparse.Select:
+		return d.Query(s)
+	case *sqlparse.CreateTable:
+		return d.execCreateTable(s)
+	case *sqlparse.DropTable:
+		return d.execDrop(s.Name, s.IfExists, false)
+	case *sqlparse.CreateMaterializedView:
+		return d.execCreateMatView(s)
+	case *sqlparse.DropMaterializedView:
+		return d.execDrop(s.Name, s.IfExists, true)
+	case *sqlparse.Insert:
+		return d.execInsert(s)
+	case *sqlparse.Explain:
+		return d.execExplain(s)
+	case *sqlparse.Begin, *sqlparse.Commit, *sqlparse.Rollback:
+		return &Result{}, nil
+	default:
+		return nil, fmt.Errorf("db: unsupported statement %T", st)
+	}
+}
+
+func (d *Database) execCreateTable(s *sqlparse.CreateTable) (*Result, error) {
+	cols := make([]catalog.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
+	}
+	def, err := catalog.NewTableDef(s.Name, cols)
+	if err != nil {
+		return nil, err
+	}
+	def.PrimaryKey = s.PrimaryKey
+	for _, fk := range s.ForeignKeys {
+		def.ForeignKeys = append(def.ForeignKeys, catalog.ForeignKey{
+			Columns: fk.Columns, RefTable: fk.RefTable, RefColumns: fk.RefColumns,
+		})
+	}
+	if _, err := d.CreateTable(def); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (d *Database) execDrop(name string, ifExists, mustBeView bool) (*Result, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	def, err := d.cat.Lookup(name)
+	if err != nil {
+		if ifExists {
+			return &Result{}, nil
+		}
+		return nil, err
+	}
+	if mustBeView && !def.IsView {
+		return nil, fmt.Errorf("db: %q is a table, not a materialized view", name)
+	}
+	if !mustBeView && def.IsView {
+		return nil, fmt.Errorf("db: %q is a materialized view; use DROP MATERIALIZED VIEW", name)
+	}
+	if err := d.cat.Drop(name); err != nil {
+		return nil, err
+	}
+	delete(d.tables, strings.ToLower(name))
+	return &Result{}, nil
+}
+
+func (d *Database) execInsert(s *sqlparse.Insert) (*Result, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, err := d.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map the column list (or the full schema) to positions.
+	targets := make([]int, 0, len(t.Def.Columns))
+	if len(s.Columns) == 0 {
+		for i := range t.Def.Columns {
+			targets = append(targets, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			idx := t.Def.ColumnIndex(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("db: table %q has no column %q", s.Table, name)
+			}
+			targets = append(targets, idx)
+		}
+	}
+	n := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(targets) {
+			return nil, fmt.Errorf("db: INSERT expects %d values, got %d", len(targets), len(exprRow))
+		}
+		row := make(types.Row, len(t.Def.Columns))
+		for i := range row {
+			row[i] = types.Null()
+		}
+		for i, e := range exprRow {
+			v, err := evalConst(e)
+			if err != nil {
+				return nil, err
+			}
+			row[targets[i]] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+// evalConst evaluates a literal-only expression (INSERT values).
+func evalConst(e sqlparse.Expr) (types.Value, error) {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		return x.Value, nil
+	case *sqlparse.Unary:
+		if x.Op == "-" {
+			v, err := evalConst(x.E)
+			if err != nil {
+				return types.Value{}, err
+			}
+			switch v.Kind() {
+			case types.KindInt:
+				return types.NewInt(-v.Int()), nil
+			case types.KindFloat:
+				return types.NewFloat(-v.Float()), nil
+			}
+		}
+	}
+	return types.Value{}, fmt.Errorf("db: INSERT values must be literals, got %q", e.SQL())
+}
+
+func (d *Database) execCreateMatView(s *sqlparse.CreateMaterializedView) (*Result, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s.Query.ResultDB {
+		return d.createResultDBView(s)
+	}
+	ex := d.executor()
+	rel, err := ex.Select(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	// Honor explicit select-item aliases (the SPJ fast path resolves plain
+	// column references and would otherwise drop the AS names, which MVs
+	// need for disambiguation).
+	if !anyStar(s.Query.Items) && len(s.Query.Items) == len(rel.Cols) {
+		for i, item := range s.Query.Items {
+			if item.Alias != "" {
+				rel.Cols[i].Rel = ""
+				rel.Cols[i].Name = item.Alias
+			}
+		}
+	}
+	def, err := relationToDef(s.Name, rel)
+	if err != nil {
+		return nil, err
+	}
+	def.IsView = true
+	t, err := d.createTableLocked(def)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, rel.Rows...)
+	return &Result{Affected: len(rel.Rows)}, nil
+}
+
+// createResultDBView materializes a subdatabase view (use case 2 of the
+// paper): one materialized view per output relation, named <view>_<alias>.
+func (d *Database) createResultDBView(s *sqlparse.CreateMaterializedView) (*Result, error) {
+	res, err := d.queryResultDBLocked(s.Query, ModeRDBRP)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, set := range res.Sets {
+		def, err := resultSetToDef(s.Name+"_"+set.Name, set)
+		if err != nil {
+			return nil, err
+		}
+		def.IsView = true
+		t, err := d.createTableLocked(def)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, set.Rows...)
+		total += len(set.Rows)
+	}
+	return &Result{Affected: total, Sets: res.Sets, Stats: res.Stats}, nil
+}
+
+// relationToDef derives a table definition from a relation's schema. Output
+// column names must be unique; qualify ambiguous select lists with aliases.
+func relationToDef(name string, rel *engine.Relation) (*catalog.TableDef, error) {
+	cols := make([]catalog.Column, len(rel.Cols))
+	for i, c := range rel.Cols {
+		kind := c.Kind
+		if kind == types.KindNull {
+			kind = inferKind(rel, i)
+		}
+		cols[i] = catalog.Column{Name: c.Name, Type: kind}
+	}
+	return catalog.NewTableDef(name, cols)
+}
+
+func resultSetToDef(name string, set *ResultSet) (*catalog.TableDef, error) {
+	cols := make([]catalog.Column, len(set.Columns))
+	for i, cn := range set.Columns {
+		kind := types.KindText
+		for _, r := range set.Rows {
+			if !r[i].IsNull() {
+				kind = r[i].Kind()
+				break
+			}
+		}
+		// Strip any "alias." qualifier for storable column names.
+		if dot := strings.LastIndexByte(cn, '.'); dot >= 0 {
+			cn = cn[dot+1:]
+		}
+		cols[i] = catalog.Column{Name: cn, Type: kind}
+	}
+	return catalog.NewTableDef(name, cols)
+}
+
+func anyStar(items []sqlparse.SelectItem) bool {
+	for _, it := range items {
+		if it.Star {
+			return true
+		}
+	}
+	return false
+}
+
+func inferKind(rel *engine.Relation, col int) types.Kind {
+	for _, r := range rel.Rows {
+		if !r[col].IsNull() {
+			return r[col].Kind()
+		}
+	}
+	return types.KindText
+}

@@ -1,0 +1,238 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"resultdb/internal/core"
+	"resultdb/internal/engine"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/types"
+)
+
+// Query executes a SELECT. SELECT RESULTDB returns one result set per output
+// relation (Definition 2.2); everything else returns a single-table result.
+func (d *Database) Query(sel *sqlparse.Select) (*Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if sel.ResultDB {
+		mode := ModeRDB
+		if sel.Preserving {
+			mode = ModeRDBRP
+		}
+		return d.queryResultDBLocked(sel, mode)
+	}
+	return d.querySingleTableLocked(sel)
+}
+
+// QuerySQL parses and executes a SELECT given as text.
+func (d *Database) QuerySQL(sql string) (*Result, error) {
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return d.Query(sel)
+}
+
+// QueryResultDB executes sel with subdatabase semantics regardless of the
+// RESULTDB keyword, in the requested mode (RDB per Definition 2.2, RDBRP per
+// Definition 2.3). This is the programmatic entry the benchmarks use.
+func (d *Database) QueryResultDB(sel *sqlparse.Select, mode Mode) (*Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.queryResultDBLocked(sel, mode)
+}
+
+func (d *Database) querySingleTableLocked(sel *sqlparse.Select) (*Result, error) {
+	ex := d.executor()
+	rel, err := ex.Select(sel)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sets: []*ResultSet{relToSet("result", rel, rel.ColumnNames())}}, nil
+}
+
+func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode) (*Result, error) {
+	if len(sel.OrderBy) > 0 || sel.Limit != nil {
+		return nil, fmt.Errorf("db: RESULTDB does not support ORDER BY/LIMIT (which relation would they apply to?)")
+	}
+	spec, err := engine.AnalyzeSPJ(stripResultDB(sel), d)
+	if err != nil {
+		return nil, fmt.Errorf("db: RESULTDB requires a select-project-join query: %w", err)
+	}
+	outputs := spec.OutputRels()
+	if mode == ModeRDBRP {
+		outputs = relationshipRels(spec)
+	}
+	reduced, stats, err := d.reduceSpec(spec, outputs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: stats}
+	if mode == ModeRDBRP {
+		res.PostJoinPlan = buildPostJoinPlan(spec, outputs)
+	}
+	for _, alias := range outputs {
+		var attrs []string
+		if mode == ModeRDBRP {
+			attrs = core.RelationshipPreservingAttrs(spec, alias)
+		} else {
+			attrs = dedupAttrs(spec.ProjectionOf(alias))
+		}
+		rel := reduced[strings.ToLower(alias)]
+		set, err := projectSet(alias, rel, attrs)
+		if err != nil {
+			return nil, err
+		}
+		res.Sets = append(res.Sets, set)
+	}
+	return res, nil
+}
+
+// relationshipRels lists the relations with non-empty A_i* (Definition 2.3):
+// those contributing projected attributes or join attributes, in FROM order.
+func relationshipRels(spec *engine.SPJSpec) []string {
+	var out []string
+	for _, r := range spec.Rels {
+		if len(spec.ProjectionOf(r.Alias)) > 0 || len(spec.JoinAttrsOf(r.Alias)) > 0 {
+			out = append(out, r.Alias)
+		}
+	}
+	return out
+}
+
+// reduceSpec computes fully reduced base relations for the query's output
+// relations, honoring the configured strategy. Queries the semi-join
+// algorithm cannot handle (cross-relation residual predicates, disconnected
+// join graphs) automatically use the Decompose strategy, which is always
+// applicable.
+func (d *Database) reduceSpec(spec *engine.SPJSpec, outputs []string) (map[string]*engine.Relation, *core.Stats, error) {
+	ex := d.executor()
+	strategy := d.Strategy
+	if len(spec.Residual) > 0 {
+		strategy = StrategyDecompose
+	}
+	if strategy == StrategySemiJoin {
+		rels, err := ex.BaseRelations(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		reduced, stats, err := core.SemiJoinReduce(spec, rels, outputs, d.CoreOptions)
+		if err == nil {
+			return reduced, stats, nil
+		}
+		if !errors.Is(err, core.ErrDisconnected) {
+			return nil, nil, err
+		}
+		// Cross product in the query: fall through to Decompose.
+	}
+	joined, err := ex.RunSPJ(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	reduced, err := core.Decompose(joined, outputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return reduced, nil, nil
+}
+
+// PostJoin reconstructs the single-table result from a previously computed
+// relationship-preserving subdatabase result (Definition 2.3). sets must
+// come from QueryResultDB(sel, ModeRDBRP) of the same query.
+func (d *Database) PostJoin(sel *sqlparse.Select, res *Result) (*ResultSet, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	spec, err := engine.AnalyzeSPJ(stripResultDB(sel), d)
+	if err != nil {
+		return nil, err
+	}
+	rels := make(map[string]*engine.Relation)
+	var preds []engine.JoinPred
+	inResult := map[string]bool{}
+	for _, set := range res.Sets {
+		inResult[strings.ToLower(set.Name)] = true
+		rels[strings.ToLower(set.Name)] = setToRelation(set)
+	}
+	// Only join predicates whose both sides are present can (and need to)
+	// be replayed; predicates through non-output relations were already
+	// enforced by the reduction.
+	for _, p := range spec.JoinPreds {
+		if inResult[strings.ToLower(p.LeftRel)] && inResult[strings.ToLower(p.RightRel)] {
+			preds = append(preds, p)
+		}
+	}
+	var projection []engine.Attr
+	for _, a := range spec.Projection {
+		if inResult[strings.ToLower(a.Rel)] {
+			projection = append(projection, a)
+		}
+	}
+	rel, err := core.PostJoin(preds, rels, projection)
+	if err != nil {
+		return nil, err
+	}
+	return relToSet("postjoin", rel, rel.ColumnNames()), nil
+}
+
+// stripResultDB returns sel with the ResultDB flag cleared (shallow copy),
+// so the analyzer and single-table executor treat it as an ordinary query.
+func stripResultDB(sel *sqlparse.Select) *sqlparse.Select {
+	if !sel.ResultDB {
+		return sel
+	}
+	clone := *sel
+	clone.ResultDB = false
+	return &clone
+}
+
+func dedupAttrs(attrs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range attrs {
+		key := strings.ToLower(a)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// projectSet projects a reduced full-width relation onto the chosen
+// attributes and removes duplicates (set semantics of Definition 2.2).
+func projectSet(alias string, rel *engine.Relation, attrs []string) (*ResultSet, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx, err := rel.ColIndex(alias, a)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = idx
+	}
+	projected := rel.Project(cols).Distinct()
+	return relToSet(alias, projected, attrs), nil
+}
+
+func relToSet(name string, rel *engine.Relation, columns []string) *ResultSet {
+	return &ResultSet{Name: name, Columns: columns, Rows: rel.Rows}
+}
+
+// setToRelation rebuilds an alias-qualified relation from a result set so it
+// can participate in a post-join.
+func setToRelation(set *ResultSet) *engine.Relation {
+	rel := &engine.Relation{Cols: make([]engine.ColRef, len(set.Columns))}
+	for i, c := range set.Columns {
+		kind := types.KindText
+		for _, r := range set.Rows {
+			if !r[i].IsNull() {
+				kind = r[i].Kind()
+				break
+			}
+		}
+		rel.Cols[i] = engine.ColRef{Rel: set.Name, Name: c, Kind: kind}
+	}
+	rel.Rows = set.Rows
+	return rel
+}

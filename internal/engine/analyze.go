@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/storage"
+)
+
+// Source resolves table names to physical tables. internal/db implements it
+// over its table map (including materialized views).
+type Source interface {
+	Table(name string) (*storage.Table, error)
+}
+
+// RelRef is one relation instance in a query: its alias and base table name.
+type RelRef struct {
+	Alias string
+	Table string
+}
+
+// Attr is one attribute of one relation instance, identified by alias.
+type Attr struct {
+	Rel string
+	Col string
+}
+
+// String renders the attribute as alias.column.
+func (a Attr) String() string { return a.Rel + "." + a.Col }
+
+// JoinPred is one equi-join predicate between two relation instances.
+type JoinPred struct {
+	LeftRel  string
+	LeftCol  string
+	RightRel string
+	RightCol string
+}
+
+// String renders the predicate as SQL.
+func (j JoinPred) String() string {
+	return fmt.Sprintf("%s.%s = %s.%s", j.LeftRel, j.LeftCol, j.RightRel, j.RightCol)
+}
+
+// Reverse swaps the two sides.
+func (j JoinPred) Reverse() JoinPred {
+	return JoinPred{LeftRel: j.RightRel, LeftCol: j.RightCol, RightRel: j.LeftRel, RightCol: j.LeftCol}
+}
+
+// SPJSpec is the analyzed form of a select-project-join query: the paper's
+// Q = π_A(σ_J(σ_F(R×))) decomposition (Section 3). It drives the planner,
+// the native RESULTDB algorithm, and the SQL rewrite methods.
+type SPJSpec struct {
+	// Rels lists the relation instances, in FROM order.
+	Rels []RelRef
+	// Filters holds single-relation conjuncts (σ_F), keyed by alias.
+	Filters map[string][]sqlparse.Expr
+	// JoinPreds holds the equi-join conjuncts (σ_J).
+	JoinPreds []JoinPred
+	// Residual holds every other conjunct (cross-relation non-equi, OR
+	// trees spanning relations, constants); evaluated after all joins.
+	Residual []sqlparse.Expr
+	// Projection lists the projected attributes per the select list, with
+	// stars expanded (π_A). Aggregate-only queries have no Projection.
+	Projection []Attr
+	// Distinct mirrors SELECT DISTINCT.
+	Distinct bool
+}
+
+// RelByAlias returns the RelRef for alias, or false.
+func (s *SPJSpec) RelByAlias(alias string) (RelRef, bool) {
+	for _, r := range s.Rels {
+		if equalFold(r.Alias, alias) {
+			return r, true
+		}
+	}
+	return RelRef{}, false
+}
+
+// ProjectionOf returns the projected columns of one relation instance, in
+// select-list order.
+func (s *SPJSpec) ProjectionOf(alias string) []string {
+	var out []string
+	for _, a := range s.Projection {
+		if equalFold(a.Rel, alias) {
+			out = append(out, a.Col)
+		}
+	}
+	return out
+}
+
+// OutputRels returns the aliases that contribute at least one projected
+// attribute (the relations the subdatabase consists of, Definition 2.2),
+// in FROM order.
+func (s *SPJSpec) OutputRels() []string {
+	var out []string
+	for _, r := range s.Rels {
+		if len(s.ProjectionOf(r.Alias)) > 0 {
+			out = append(out, r.Alias)
+		}
+	}
+	return out
+}
+
+// JoinAttrsOf returns the distinct join-predicate columns of alias (the A_i^J
+// sets of Definition 2.3), in first-use order.
+func (s *SPJSpec) JoinAttrsOf(alias string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(col string) {
+		key := strings.ToLower(col)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, col)
+		}
+	}
+	for _, j := range s.JoinPreds {
+		if equalFold(j.LeftRel, alias) {
+			add(j.LeftCol)
+		}
+		if equalFold(j.RightRel, alias) {
+			add(j.RightCol)
+		}
+	}
+	return out
+}
+
+// FilterSQL renders the conjunction of alias's pushed-down filters, or "".
+func (s *SPJSpec) FilterSQL(alias string) string {
+	e := sqlparse.AndAll(s.Filters[alias])
+	if e == nil {
+		return ""
+	}
+	return e.SQL()
+}
+
+// AnalyzeSPJ decomposes a SELECT into an SPJSpec. The query must be a pure
+// SPJ query: inner joins only, no aggregates in the select list, and every
+// select item a plain column reference or star.
+//
+// src is used to expand stars and resolve bare column names to their owning
+// relation; it may not be nil.
+func AnalyzeSPJ(sel *sqlparse.Select, src Source) (*SPJSpec, error) {
+	spec := &SPJSpec{
+		Filters:  make(map[string][]sqlparse.Expr),
+		Distinct: sel.Distinct,
+	}
+
+	// Collect relation instances; reject outer joins.
+	var conjuncts []sqlparse.Expr
+	for _, item := range sel.From {
+		spec.Rels = append(spec.Rels, RelRef{Alias: item.Ref.Name(), Table: item.Ref.Table})
+		for _, j := range item.Joins {
+			if j.Type != sqlparse.JoinInner {
+				return nil, fmt.Errorf("engine: outer joins are not SPJ; cannot analyze")
+			}
+			spec.Rels = append(spec.Rels, RelRef{Alias: j.Ref.Name(), Table: j.Ref.Table})
+			conjuncts = append(conjuncts, sqlparse.Conjuncts(j.On)...)
+		}
+	}
+	seen := map[string]bool{}
+	for _, r := range spec.Rels {
+		key := strings.ToLower(r.Alias)
+		if seen[key] {
+			return nil, fmt.Errorf("engine: duplicate relation alias %q", r.Alias)
+		}
+		seen[key] = true
+	}
+	conjuncts = append(conjuncts, sqlparse.Conjuncts(sel.Where)...)
+
+	// Column ownership map for resolving bare references.
+	owner, colKinds, err := buildOwnership(spec.Rels, src)
+	if err != nil {
+		return nil, err
+	}
+	resolve := func(c *sqlparse.ColumnRef) (string, error) {
+		if c.Table != "" {
+			if _, ok := spec.RelByAlias(c.Table); !ok {
+				return "", fmt.Errorf("engine: unknown relation %q in reference %s", c.Table, c.SQL())
+			}
+			if _, ok := colKinds[strings.ToLower(c.Table)+"."+strings.ToLower(c.Column)]; !ok {
+				return "", fmt.Errorf("engine: unknown column %s", c.SQL())
+			}
+			return c.Table, nil
+		}
+		owners := owner[strings.ToLower(c.Column)]
+		switch len(owners) {
+		case 1:
+			return owners[0], nil
+		case 0:
+			return "", fmt.Errorf("engine: unknown column %q", c.Column)
+		default:
+			return "", fmt.Errorf("engine: ambiguous column %q (in %s)", c.Column, strings.Join(owners, ", "))
+		}
+	}
+
+	// Classify conjuncts.
+	for _, c := range conjuncts {
+		if jp, ok := asEquiJoin(c, resolve); ok {
+			spec.JoinPreds = append(spec.JoinPreds, jp)
+			continue
+		}
+		rels, err := referencedRels(c, resolve)
+		if err != nil {
+			return nil, err
+		}
+		if len(rels) == 1 {
+			spec.Filters[rels[0]] = append(spec.Filters[rels[0]], c)
+		} else {
+			spec.Residual = append(spec.Residual, c)
+		}
+	}
+
+	// Expand the projection.
+	for _, item := range sel.Items {
+		switch {
+		case item.Star && item.Table == "":
+			for _, r := range spec.Rels {
+				t, err := src.Table(r.Table)
+				if err != nil {
+					return nil, err
+				}
+				for _, col := range t.Def.Columns {
+					spec.Projection = append(spec.Projection, Attr{Rel: r.Alias, Col: col.Name})
+				}
+			}
+		case item.Star:
+			r, ok := spec.RelByAlias(item.Table)
+			if !ok {
+				return nil, fmt.Errorf("engine: unknown relation %q in %s.*", item.Table, item.Table)
+			}
+			t, err := src.Table(r.Table)
+			if err != nil {
+				return nil, err
+			}
+			for _, col := range t.Def.Columns {
+				spec.Projection = append(spec.Projection, Attr{Rel: r.Alias, Col: col.Name})
+			}
+		default:
+			cr, ok := item.Expr.(*sqlparse.ColumnRef)
+			if !ok {
+				return nil, fmt.Errorf("engine: select item %q is not a plain column; not SPJ", item.Expr.SQL())
+			}
+			rel, err := resolve(cr)
+			if err != nil {
+				return nil, err
+			}
+			spec.Projection = append(spec.Projection, Attr{Rel: rel, Col: cr.Column})
+		}
+	}
+	return spec, nil
+}
+
+// buildOwnership maps lower-cased column names to the aliases defining them
+// and records (alias.column -> kind) existence.
+func buildOwnership(rels []RelRef, src Source) (map[string][]string, map[string]bool, error) {
+	owner := make(map[string][]string)
+	exists := make(map[string]bool)
+	for _, r := range rels {
+		t, err := src.Table(r.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, col := range t.Def.Columns {
+			key := strings.ToLower(col.Name)
+			owner[key] = append(owner[key], r.Alias)
+			exists[strings.ToLower(r.Alias)+"."+key] = true
+		}
+	}
+	return owner, exists, nil
+}
+
+// asEquiJoin recognizes conjuncts of the form a.x = b.y with a != b.
+func asEquiJoin(e sqlparse.Expr, resolve func(*sqlparse.ColumnRef) (string, error)) (JoinPred, bool) {
+	b, ok := e.(*sqlparse.Binary)
+	if !ok || b.Op != sqlparse.OpEq {
+		return JoinPred{}, false
+	}
+	l, lok := b.L.(*sqlparse.ColumnRef)
+	r, rok := b.R.(*sqlparse.ColumnRef)
+	if !lok || !rok {
+		return JoinPred{}, false
+	}
+	lr, err := resolve(l)
+	if err != nil {
+		return JoinPred{}, false
+	}
+	rr, err := resolve(r)
+	if err != nil {
+		return JoinPred{}, false
+	}
+	if equalFold(lr, rr) {
+		return JoinPred{}, false
+	}
+	return JoinPred{LeftRel: lr, LeftCol: l.Column, RightRel: rr, RightCol: r.Column}, true
+}
+
+// referencedRels returns the distinct aliases referenced by e (outer scope
+// only; subquery bodies are opaque).
+func referencedRels(e sqlparse.Expr, resolve func(*sqlparse.ColumnRef) (string, error)) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	var firstErr error
+	for _, c := range sqlparse.ColumnRefs(e) {
+		rel, err := resolve(c)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		key := strings.ToLower(rel)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, rel)
+		}
+	}
+	return out, firstErr
+}

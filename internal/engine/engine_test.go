@@ -1,0 +1,469 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"resultdb/internal/catalog"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/storage"
+	"resultdb/internal/types"
+)
+
+// memSource is a trivial engine.Source over a map of tables.
+type memSource map[string]*storage.Table
+
+func (m memSource) Table(name string) (*storage.Table, error) {
+	if t, ok := m[strings.ToLower(name)]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("no table %q", name)
+}
+
+func mkTable(t *testing.T, name string, cols []catalog.Column, pk []string, rows ...types.Row) *storage.Table {
+	t.Helper()
+	def := catalog.MustTableDef(name, cols)
+	def.PrimaryKey = pk
+	tab := storage.NewTable(def)
+	if err := tab.InsertAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func intCol(n string) catalog.Column  { return catalog.Column{Name: n, Type: types.KindInt} }
+func textCol(n string) catalog.Column { return catalog.Column{Name: n, Type: types.KindText} }
+
+func ir(vals ...any) types.Row {
+	row := make(types.Row, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			row[i] = types.NewInt(int64(x))
+		case string:
+			row[i] = types.NewText(x)
+		case float64:
+			row[i] = types.NewFloat(x)
+		case bool:
+			row[i] = types.NewBool(x)
+		case nil:
+			row[i] = types.Null()
+		default:
+			panic("unsupported")
+		}
+	}
+	return row
+}
+
+// shopSource is the paper's running example as an engine source.
+func shopSource(t *testing.T) memSource {
+	t.Helper()
+	return memSource{
+		"customers": mkTable(t, "customers",
+			[]catalog.Column{intCol("id"), textCol("name"), textCol("state")}, []string{"id"},
+			ir(0, "custA", "NY"), ir(1, "custB", "CA"), ir(2, "custC", "NY")),
+		"orders": mkTable(t, "orders",
+			[]catalog.Column{intCol("oid"), intCol("cid"), intCol("pid")}, []string{"oid"},
+			ir(0, 0, 1), ir(1, 1, 1), ir(2, 1, 2), ir(3, 2, 1), ir(4, 0, 2), ir(5, 1, 3)),
+		"products": mkTable(t, "products",
+			[]catalog.Column{intCol("id"), textCol("name"), textCol("category")}, []string{"id"},
+			ir(0, "smartphone", "electronics"), ir(1, "laptop", "electronics"),
+			ir(2, "shirt", "clothing"), ir(3, "pants", "clothing")),
+	}
+}
+
+func runSelect(t *testing.T, src Source, sql string) *Relation {
+	t.Helper()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	ex := &Executor{Src: src}
+	rel, err := ex.Select(sel)
+	if err != nil {
+		t.Fatalf("select %q: %v", sql, err)
+	}
+	return rel
+}
+
+func sortedStrings(rel *Relation) []string {
+	out := make([]string, len(rel.Rows))
+	for i, r := range rel.Rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func expectRows(t *testing.T, rel *Relation, want ...string) {
+	t.Helper()
+	got := sortedStrings(rel)
+	sort.Strings(want)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("rows mismatch:\ngot:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+func TestSelectSingleTableFilter(t *testing.T) {
+	rel := runSelect(t, shopSource(t), "SELECT c.name FROM customers AS c WHERE c.state = 'NY'")
+	expectRows(t, rel, "custA", "custC")
+}
+
+func TestSelectJoinThreeWay(t *testing.T) {
+	rel := runSelect(t, shopSource(t), `
+		SELECT c.name, p.name FROM customers AS c, orders AS o, products AS p
+		WHERE c.id = o.cid AND p.id = o.pid AND c.state = 'NY'`)
+	expectRows(t, rel,
+		"custA | laptop", "custA | shirt", "custC | laptop")
+}
+
+func TestSelectExplicitJoinSyntax(t *testing.T) {
+	rel := runSelect(t, shopSource(t), `
+		SELECT c.name, p.name
+		FROM customers AS c
+		JOIN orders AS o ON c.id = o.cid
+		JOIN products AS p ON p.id = o.pid
+		WHERE c.state = 'NY'`)
+	expectRows(t, rel,
+		"custA | laptop", "custA | shirt", "custC | laptop")
+}
+
+func TestSelectDistinctAndOrderLimit(t *testing.T) {
+	rel := runSelect(t, shopSource(t), `
+		SELECT DISTINCT p.category FROM products AS p ORDER BY p.category`)
+	if len(rel.Rows) != 2 || rel.Rows[0].String() != "clothing" {
+		t.Fatalf("rows = %v", rel.Rows)
+	}
+	rel2 := runSelect(t, shopSource(t), `
+		SELECT p.name FROM products AS p ORDER BY p.name DESC LIMIT 2`)
+	expectRows(t, rel2, "smartphone", "shirt")
+}
+
+func TestSelectLeftOuterJoin(t *testing.T) {
+	src := shopSource(t)
+	// custB (CA) has orders; give customers an outer join against a
+	// filtered product set so some rows pad with NULL.
+	rel := runSelect(t, src, `
+		SELECT c.name, p.name
+		FROM customers AS c
+		LEFT OUTER JOIN orders AS o ON c.id = o.cid AND o.pid = 3
+		LEFT OUTER JOIN products AS p ON p.id = o.pid`)
+	expectRows(t, rel,
+		"custA | NULL", "custB | pants", "custC | NULL")
+}
+
+func TestSelectAggregates(t *testing.T) {
+	src := shopSource(t)
+	rel := runSelect(t, src, `SELECT COUNT(*) FROM orders AS o`)
+	if rel.Rows[0][0].Int() != 6 {
+		t.Fatalf("count = %v", rel.Rows[0])
+	}
+	rel = runSelect(t, src, `
+		SELECT COUNT(*), MIN(o.pid), MAX(o.pid), SUM(o.pid), AVG(o.pid)
+		FROM orders AS o WHERE o.cid = 1`)
+	r := rel.Rows[0]
+	if r[0].Int() != 3 || r[1].Int() != 1 || r[2].Int() != 3 || r[3].Int() != 6 || r[4].Float() != 2 {
+		t.Fatalf("aggregates = %v", r)
+	}
+	// COUNT over a join.
+	rel = runSelect(t, src, `
+		SELECT COUNT(*) FROM customers AS c, orders AS o
+		WHERE c.id = o.cid AND c.state = 'NY'`)
+	if rel.Rows[0][0].Int() != 3 {
+		t.Fatalf("join count = %v", rel.Rows[0])
+	}
+}
+
+func TestSelectInSubquery(t *testing.T) {
+	rel := runSelect(t, shopSource(t), `
+		SELECT c.name FROM customers AS c
+		WHERE c.id IN (SELECT o.cid FROM orders AS o WHERE o.pid = 3)`)
+	expectRows(t, rel, "custB")
+	rel = runSelect(t, shopSource(t), `
+		SELECT c.name FROM customers AS c
+		WHERE c.id NOT IN (SELECT o.cid FROM orders AS o WHERE o.pid = 3)`)
+	expectRows(t, rel, "custA", "custC")
+}
+
+func TestSelectComputedItems(t *testing.T) {
+	rel := runSelect(t, shopSource(t), `
+		SELECT o.pid * 10 + o.cid AS code FROM orders AS o WHERE o.oid = 2`)
+	if rel.Rows[0][0].Int() != 21 {
+		t.Fatalf("computed = %v", rel.Rows[0])
+	}
+	if rel.Cols[0].Name != "code" {
+		t.Errorf("alias = %s", rel.Cols[0].Name)
+	}
+}
+
+func TestSelectCrossProductFallback(t *testing.T) {
+	// No join predicate between the two relations: Cartesian product.
+	rel := runSelect(t, shopSource(t), `
+		SELECT c.name, p.name FROM customers AS c, products AS p
+		WHERE c.state = 'CA' AND p.category = 'clothing'`)
+	expectRows(t, rel, "custB | shirt", "custB | pants")
+}
+
+func TestSelectResidualPredicate(t *testing.T) {
+	// Cross-relation non-equi predicate lands in the residual filter.
+	rel := runSelect(t, shopSource(t), `
+		SELECT c.name, o.pid FROM customers AS c, orders AS o
+		WHERE c.id = o.cid AND o.pid > c.id`)
+	expectRows(t, rel,
+		"custA | 1", "custA | 2", "custC | NULL"[:0]+"custB | 2", "custB | 3")
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	src := memSource{
+		"t": mkTable(t, "t",
+			[]catalog.Column{intCol("id"), intCol("x")}, []string{"id"},
+			ir(1, 10), ir(2, nil), ir(3, 30)),
+	}
+	// NULL comparisons are unknown: row 2 never matches either branch.
+	rel := runSelect(t, src, "SELECT t.id FROM t AS t WHERE t.x > 15")
+	expectRows(t, rel, "3")
+	rel = runSelect(t, src, "SELECT t.id FROM t AS t WHERE NOT (t.x > 15)")
+	expectRows(t, rel, "1")
+	rel = runSelect(t, src, "SELECT t.id FROM t AS t WHERE t.x IS NULL")
+	expectRows(t, rel, "2")
+	rel = runSelect(t, src, "SELECT t.id FROM t AS t WHERE t.x IS NOT NULL")
+	expectRows(t, rel, "1", "3")
+	// FALSE AND NULL = FALSE, TRUE OR NULL = TRUE (short circuit).
+	rel = runSelect(t, src, "SELECT t.id FROM t AS t WHERE t.id = 2 AND (1 = 0 AND t.x > 5)")
+	expectRows(t, rel)
+	rel = runSelect(t, src, "SELECT t.id FROM t AS t WHERE t.id = 2 AND (1 = 1 OR t.x > 5)")
+	expectRows(t, rel, "2")
+	// IN with NULL element: unknown unless matched.
+	rel = runSelect(t, src, "SELECT t.id FROM t AS t WHERE t.id IN (1, NULL)")
+	expectRows(t, rel, "1")
+	rel = runSelect(t, src, "SELECT t.id FROM t AS t WHERE t.id NOT IN (1, NULL)")
+	expectRows(t, rel) // all unknown or false
+}
+
+func TestNullJoinKeysNeverMatch(t *testing.T) {
+	src := memSource{
+		"a": mkTable(t, "a", []catalog.Column{intCol("id"), intCol("k")}, []string{"id"},
+			ir(1, 7), ir(2, nil)),
+		"b": mkTable(t, "b", []catalog.Column{intCol("id"), intCol("k")}, []string{"id"},
+			ir(10, 7), ir(11, nil)),
+	}
+	rel := runSelect(t, src, "SELECT a.id, b.id FROM a AS a, b AS b WHERE a.k = b.k")
+	expectRows(t, rel, "1 | 10")
+}
+
+func TestLikeMatching(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_l_o", true},
+		{"hello", "h_x_o", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "a%b%c", true},
+		{"abc", "%x%", false},
+		{"aXbXc", "a%c", true},
+		{"ab", "a_b", false},
+		{"sequel-anna", "sequel-%", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+		// compileLike fast paths must agree with the general matcher.
+		if got := compileLike(c.p)(c.s); got != c.want {
+			t.Errorf("compileLike(%q)(%q) = %v, want %v", c.p, c.s, got, c.want)
+		}
+	}
+}
+
+func TestArith(t *testing.T) {
+	src := memSource{
+		"t": mkTable(t, "t", []catalog.Column{intCol("id"), intCol("x")}, []string{"id"}, ir(1, 7)),
+	}
+	rel := runSelect(t, src, "SELECT t.x + 1, t.x - 2, t.x * 3, t.x / 2, -t.x FROM t AS t")
+	r := rel.Rows[0]
+	want := []int64{8, 5, 21, 3, -7}
+	for i, w := range want {
+		if r[i].Int() != w {
+			t.Errorf("col %d = %v, want %d", i, r[i], w)
+		}
+	}
+	// Division by zero errors.
+	sel, _ := sqlparse.ParseSelect("SELECT t.x / 0 FROM t AS t")
+	ex := &Executor{Src: src}
+	if _, err := ex.Select(sel); err == nil {
+		t.Error("division by zero should error")
+	}
+}
+
+func TestAnalyzeSPJClassification(t *testing.T) {
+	src := shopSource(t)
+	sel, _ := sqlparse.ParseSelect(`
+		SELECT c.name, p.name FROM customers AS c, orders AS o, products AS p
+		WHERE c.state = 'NY' AND c.id = o.cid AND p.id = o.pid AND c.id + p.id > 0`)
+	spec, err := AnalyzeSPJ(sel, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Rels) != 3 {
+		t.Fatalf("rels = %d", len(spec.Rels))
+	}
+	if len(spec.Filters["c"]) != 1 {
+		t.Errorf("c filters = %v", spec.Filters["c"])
+	}
+	if len(spec.JoinPreds) != 2 {
+		t.Errorf("join preds = %v", spec.JoinPreds)
+	}
+	if len(spec.Residual) != 1 {
+		t.Errorf("residual = %v", spec.Residual)
+	}
+	if got := strings.Join(spec.OutputRels(), ","); got != "c,p" {
+		t.Errorf("output rels = %s", got)
+	}
+	if got := strings.Join(spec.JoinAttrsOf("o"), ","); got != "cid,pid" {
+		t.Errorf("o join attrs = %s", got)
+	}
+	if got := strings.Join(spec.ProjectionOf("p"), ","); got != "name" {
+		t.Errorf("p projection = %s", got)
+	}
+}
+
+func TestAnalyzeSPJBareColumnResolution(t *testing.T) {
+	src := shopSource(t)
+	// "state" is unique to customers; "name" is ambiguous.
+	sel, _ := sqlparse.ParseSelect(`SELECT state FROM customers AS c, products AS p WHERE c.id = p.id`)
+	spec, err := AnalyzeSPJ(sel, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Projection[0].Rel != "c" {
+		t.Errorf("bare column resolved to %s", spec.Projection[0].Rel)
+	}
+	sel2, _ := sqlparse.ParseSelect(`SELECT name FROM customers AS c, products AS p WHERE c.id = p.id`)
+	if _, err := AnalyzeSPJ(sel2, src); err == nil {
+		t.Error("ambiguous bare column should fail analysis")
+	}
+}
+
+func TestAnalyzeSPJRejectsOuterJoinsAndDuplicateAliases(t *testing.T) {
+	src := shopSource(t)
+	sel, _ := sqlparse.ParseSelect(`SELECT p.id FROM products AS p LEFT OUTER JOIN orders AS o ON p.id = o.pid`)
+	if _, err := AnalyzeSPJ(sel, src); err == nil {
+		t.Error("outer join should be rejected")
+	}
+	sel2, _ := sqlparse.ParseSelect(`SELECT c.id FROM customers AS c, orders AS c WHERE 1 = 1`)
+	if _, err := AnalyzeSPJ(sel2, src); err == nil {
+		t.Error("duplicate alias should be rejected")
+	}
+}
+
+func TestSelfJoinWithAliases(t *testing.T) {
+	rel := runSelect(t, shopSource(t), `
+		SELECT a.name, b.name FROM customers AS a, customers AS b
+		WHERE a.state = b.state AND a.id < b.id`)
+	expectRows(t, rel, "custA | custC")
+}
+
+func TestJoinAllCycleEdgesApplied(t *testing.T) {
+	// Triangle: a-b, b-c, a-c; the a-c edge closes a cycle and must be
+	// enforced exactly once by the greedy joiner.
+	src := memSource{
+		"a": mkTable(t, "a", []catalog.Column{intCol("id"), intCol("x")}, []string{"id"},
+			ir(1, 100), ir(2, 200)),
+		"b": mkTable(t, "b", []catalog.Column{intCol("id"), intCol("aid")}, []string{"id"},
+			ir(1, 1), ir(2, 2)),
+		"c": mkTable(t, "c", []catalog.Column{intCol("id"), intCol("bid"), intCol("ax")}, []string{"id"},
+			ir(1, 1, 100), ir(2, 2, 100)),
+	}
+	rel := runSelect(t, src, `
+		SELECT a.id, c.id FROM a AS a, b AS b, c AS c
+		WHERE a.id = b.aid AND b.id = c.bid AND a.x = c.ax`)
+	expectRows(t, rel, "1 | 1")
+}
+
+func TestHashJoinMatchesNestedLoopOracle(t *testing.T) {
+	// Randomized join vs a brute-force oracle.
+	for seed := int64(0); seed < 5; seed++ {
+		l := &Relation{Cols: []ColRef{{Rel: "l", Name: "k"}, {Rel: "l", Name: "v"}}}
+		r := &Relation{Cols: []ColRef{{Rel: "r", Name: "k"}, {Rel: "r", Name: "w"}}}
+		rng := newTestRand(seed)
+		for i := 0; i < 60; i++ {
+			l.Rows = append(l.Rows, ir(rng(8), i))
+			r.Rows = append(r.Rows, ir(rng(8), i+1000))
+		}
+		got := hashJoinInner(l, r, []int{0}, []int{0})
+		want := 0
+		for _, lr := range l.Rows {
+			for _, rr := range r.Rows {
+				if types.Equal(lr[0], rr[0]) {
+					want++
+				}
+			}
+		}
+		if len(got.Rows) != want {
+			t.Fatalf("seed %d: hash join %d rows, oracle %d", seed, len(got.Rows), want)
+		}
+	}
+}
+
+// newTestRand returns a tiny deterministic generator.
+func newTestRand(seed int64) func(n int) int {
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	return func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+}
+
+func TestSemiJoinExported(t *testing.T) {
+	l := &Relation{Cols: []ColRef{{Rel: "l", Name: "k"}}}
+	r := &Relation{Cols: []ColRef{{Rel: "r", Name: "k"}}}
+	l.Rows = []types.Row{ir(1), ir(2), ir(3), ir(2)}
+	r.Rows = []types.Row{ir(2), ir(4)}
+	out := SemiJoin(l, []int{0}, r, []int{0})
+	expectRows(t, out, "2", "2")
+}
+
+func TestRelationHelpers(t *testing.T) {
+	rel := &Relation{
+		Cols: []ColRef{{Rel: "a", Name: "x"}, {Rel: "a", Name: "y"}, {Rel: "b", Name: "x"}},
+		Rows: []types.Row{ir(1, 2, 3)},
+	}
+	if _, err := rel.ColIndex("", "x"); err == nil {
+		t.Error("ambiguous bare name should error")
+	}
+	if i, err := rel.ColIndex("b", "x"); err != nil || i != 2 {
+		t.Errorf("ColIndex(b.x) = %d, %v", i, err)
+	}
+	if _, err := rel.ColIndex("a", "zz"); err == nil {
+		t.Error("unknown column should error")
+	}
+	if got := rel.ColumnsOf("a"); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("ColumnsOf(a) = %v", got)
+	}
+	if names := rel.ColumnNames(); names[2] != "b.x" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+	p := rel.Project([]int{2, 0})
+	if p.Rows[0][0].Int() != 3 || p.Cols[0].Rel != "b" {
+		t.Errorf("Project = %+v", p)
+	}
+}
+
+func TestTableToRelation(t *testing.T) {
+	src := shopSource(t)
+	tab, _ := src.Table("customers")
+	rel := TableToRelation("c", tab)
+	if len(rel.Cols) != 3 || rel.Cols[0].Rel != "c" || len(rel.Rows) != 3 {
+		t.Errorf("TableToRelation = %+v", rel)
+	}
+}

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"resultdb/internal/sqlparse"
+)
+
+// ExplainSPJ renders an executed plan description for an analyzed SPJ query:
+// the scans with pushed-down filters and post-filter cardinalities, the
+// greedy join order with intermediate cardinalities, and residual
+// predicates. Because the engine is main-memory and materializing, EXPLAIN
+// executes the plan and reports actual numbers (EXPLAIN ANALYZE semantics).
+func (e *Executor) ExplainSPJ(spec *SPJSpec) ([]string, error) {
+	var lines []string
+	rels := make(map[string]*Relation, len(spec.Rels))
+	for _, r := range spec.Rels {
+		rel, err := e.baseRelation(r, spec.Filters[r.Alias])
+		if err != nil {
+			return nil, err
+		}
+		rels[strings.ToLower(r.Alias)] = rel
+		filter := spec.FilterSQL(r.Alias)
+		if filter == "" {
+			filter = "true"
+		}
+		base, err := e.Src.Table(r.Table)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, fmt.Sprintf("scan %s AS %s  filter: %s  rows: %d -> %d",
+			r.Table, r.Alias, filter, base.Len(), len(rel.Rows)))
+	}
+	joined, err := JoinAllTrace(spec.JoinPreds, rels, func(step string) {
+		lines = append(lines, step)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Residual) > 0 {
+		before := len(joined.Rows)
+		joined, err = e.filter(joined, sqlparse.AndAll(spec.Residual))
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, fmt.Sprintf("residual filter: %s  rows: %d -> %d",
+			sqlparse.AndAll(spec.Residual).SQL(), before, len(joined.Rows)))
+	}
+	var proj []string
+	for _, a := range spec.Projection {
+		proj = append(proj, a.String())
+	}
+	distinct := ""
+	if spec.Distinct {
+		distinct = " distinct"
+	}
+	lines = append(lines, fmt.Sprintf("project%s [%s]  rows: %d",
+		distinct, strings.Join(proj, ", "), len(joined.Rows)))
+	return lines, nil
+}

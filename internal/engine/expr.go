@@ -1,0 +1,439 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/types"
+)
+
+// boundExpr is a compiled expression: evaluate against one row of the bound
+// relation. SQL three-valued logic is represented by returning NULL.
+type boundExpr func(types.Row) (types.Value, error)
+
+// SubqueryRunner executes a non-correlated subquery and returns its
+// materialized result. The binder uses it for IN (SELECT ...) predicates.
+type SubqueryRunner func(*sqlparse.Select) (*Relation, error)
+
+// binder compiles AST expressions against a relation schema.
+type binder struct {
+	rel *Relation
+	sub SubqueryRunner
+}
+
+// bind compiles e for evaluation against rows of b.rel.
+func (b *binder) bind(e sqlparse.Expr) (boundExpr, error) {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		v := x.Value
+		return func(types.Row) (types.Value, error) { return v, nil }, nil
+
+	case *sqlparse.ColumnRef:
+		idx, err := b.rel.ColIndex(x.Table, x.Column)
+		if err != nil {
+			return nil, err
+		}
+		return func(r types.Row) (types.Value, error) { return r[idx], nil }, nil
+
+	case *sqlparse.Binary:
+		return b.bindBinary(x)
+
+	case *sqlparse.Unary:
+		inner, err := b.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			return func(r types.Row) (types.Value, error) {
+				v, err := inner(r)
+				if err != nil || v.IsNull() {
+					return v, err
+				}
+				if v.Kind() != types.KindBool {
+					return types.Value{}, fmt.Errorf("engine: NOT on non-boolean %s", v.Kind())
+				}
+				return types.NewBool(!v.Bool()), nil
+			}, nil
+		case "-":
+			return func(r types.Row) (types.Value, error) {
+				v, err := inner(r)
+				if err != nil || v.IsNull() {
+					return v, err
+				}
+				switch v.Kind() {
+				case types.KindInt:
+					return types.NewInt(-v.Int()), nil
+				case types.KindFloat:
+					return types.NewFloat(-v.Float()), nil
+				}
+				return types.Value{}, fmt.Errorf("engine: unary minus on %s", v.Kind())
+			}, nil
+		}
+		return nil, fmt.Errorf("engine: unknown unary operator %q", x.Op)
+
+	case *sqlparse.Between:
+		ev, err := b.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.bind(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.bind(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return func(r types.Row) (types.Value, error) {
+			v, err := ev(r)
+			if err != nil {
+				return types.Value{}, err
+			}
+			lv, err := lo(r)
+			if err != nil {
+				return types.Value{}, err
+			}
+			hv, err := hi(r)
+			if err != nil {
+				return types.Value{}, err
+			}
+			if v.IsNull() || lv.IsNull() || hv.IsNull() {
+				return types.Null(), nil
+			}
+			in := types.Compare(v, lv) >= 0 && types.Compare(v, hv) <= 0
+			if x.Not {
+				in = !in
+			}
+			return types.NewBool(in), nil
+		}, nil
+
+	case *sqlparse.InList:
+		ev, err := b.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]boundExpr, len(x.List))
+		for i, it := range x.List {
+			items[i], err = b.bind(it)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return func(r types.Row) (types.Value, error) {
+			v, err := ev(r)
+			if err != nil {
+				return types.Value{}, err
+			}
+			if v.IsNull() {
+				return types.Null(), nil
+			}
+			sawNull := false
+			for _, item := range items {
+				iv, err := item(r)
+				if err != nil {
+					return types.Value{}, err
+				}
+				if iv.IsNull() {
+					sawNull = true
+					continue
+				}
+				if types.Compare(v, iv) == 0 {
+					return types.NewBool(!x.Not), nil
+				}
+			}
+			if sawNull {
+				return types.Null(), nil // unknown under 3VL
+			}
+			return types.NewBool(x.Not), nil
+		}, nil
+
+	case *sqlparse.InSubquery:
+		return b.bindInSubquery(x)
+
+	case *sqlparse.Like:
+		ev, err := b.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		match := compileLike(x.Pattern)
+		return func(r types.Row) (types.Value, error) {
+			v, err := ev(r)
+			if err != nil {
+				return types.Value{}, err
+			}
+			if v.IsNull() {
+				return types.Null(), nil
+			}
+			if v.Kind() != types.KindText {
+				return types.Value{}, fmt.Errorf("engine: LIKE on non-text %s", v.Kind())
+			}
+			ok := match(v.Text())
+			if x.Not {
+				ok = !ok
+			}
+			return types.NewBool(ok), nil
+		}, nil
+
+	case *sqlparse.IsNull:
+		ev, err := b.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(r types.Row) (types.Value, error) {
+			v, err := ev(r)
+			if err != nil {
+				return types.Value{}, err
+			}
+			isNull := v.IsNull()
+			if x.Not {
+				isNull = !isNull
+			}
+			return types.NewBool(isNull), nil
+		}, nil
+
+	case *sqlparse.FuncCall:
+		return nil, fmt.Errorf("engine: aggregate/function %s not allowed in this context", x.Name)
+	}
+	return nil, fmt.Errorf("engine: unsupported expression %T", e)
+}
+
+func (b *binder) bindBinary(x *sqlparse.Binary) (boundExpr, error) {
+	l, err := b.bind(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.bind(x.R)
+	if err != nil {
+		return nil, err
+	}
+	op := x.Op
+	switch op {
+	case sqlparse.OpAnd:
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Value{}, err
+			}
+			// Short-circuit: FALSE AND x = FALSE even if x is NULL.
+			if !lv.IsNull() && lv.Kind() == types.KindBool && !lv.Bool() {
+				return types.NewBool(false), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Value{}, err
+			}
+			if !rv.IsNull() && rv.Kind() == types.KindBool && !rv.Bool() {
+				return types.NewBool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null(), nil
+			}
+			return types.NewBool(lv.Bool() && rv.Bool()), nil
+		}, nil
+	case sqlparse.OpOr:
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Value{}, err
+			}
+			if !lv.IsNull() && lv.Kind() == types.KindBool && lv.Bool() {
+				return types.NewBool(true), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Value{}, err
+			}
+			if !rv.IsNull() && rv.Kind() == types.KindBool && rv.Bool() {
+				return types.NewBool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null(), nil
+			}
+			return types.NewBool(lv.Bool() || rv.Bool()), nil
+		}, nil
+	case sqlparse.OpEq, sqlparse.OpNe, sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Value{}, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Value{}, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null(), nil
+			}
+			c := types.Compare(lv, rv)
+			var ok bool
+			switch op {
+			case sqlparse.OpEq:
+				ok = c == 0
+			case sqlparse.OpNe:
+				ok = c != 0
+			case sqlparse.OpLt:
+				ok = c < 0
+			case sqlparse.OpLe:
+				ok = c <= 0
+			case sqlparse.OpGt:
+				ok = c > 0
+			case sqlparse.OpGe:
+				ok = c >= 0
+			}
+			return types.NewBool(ok), nil
+		}, nil
+	case sqlparse.OpAdd, sqlparse.OpSub, sqlparse.OpMul, sqlparse.OpDiv:
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Value{}, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Value{}, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null(), nil
+			}
+			return arith(op, lv, rv)
+		}, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported binary operator %s", op)
+}
+
+// arith evaluates numeric arithmetic: int op int stays integral (SQL
+// truncating division), anything involving a float promotes to float.
+func arith(op sqlparse.BinaryOp, a, b types.Value) (types.Value, error) {
+	if a.Kind() == types.KindInt && b.Kind() == types.KindInt {
+		x, y := a.Int(), b.Int()
+		switch op {
+		case sqlparse.OpAdd:
+			return types.NewInt(x + y), nil
+		case sqlparse.OpSub:
+			return types.NewInt(x - y), nil
+		case sqlparse.OpMul:
+			return types.NewInt(x * y), nil
+		case sqlparse.OpDiv:
+			if y == 0 {
+				return types.Value{}, fmt.Errorf("engine: division by zero")
+			}
+			return types.NewInt(x / y), nil
+		}
+	}
+	if (a.Kind() == types.KindInt || a.Kind() == types.KindFloat) &&
+		(b.Kind() == types.KindInt || b.Kind() == types.KindFloat) {
+		x, y := a.Float(), b.Float()
+		switch op {
+		case sqlparse.OpAdd:
+			return types.NewFloat(x + y), nil
+		case sqlparse.OpSub:
+			return types.NewFloat(x - y), nil
+		case sqlparse.OpMul:
+			return types.NewFloat(x * y), nil
+		case sqlparse.OpDiv:
+			if y == 0 {
+				return types.Value{}, fmt.Errorf("engine: division by zero")
+			}
+			return types.NewFloat(x / y), nil
+		}
+	}
+	return types.Value{}, fmt.Errorf("engine: arithmetic on %s and %s", a.Kind(), b.Kind())
+}
+
+// bindInSubquery runs the (non-correlated) subquery once at bind time and
+// compiles membership probing against its materialized key set.
+func (b *binder) bindInSubquery(x *sqlparse.InSubquery) (boundExpr, error) {
+	if b.sub == nil {
+		return nil, fmt.Errorf("engine: subqueries not supported in this context")
+	}
+	ev, err := b.bind(x.E)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := b.sub(x.Query)
+	if err != nil {
+		return nil, err
+	}
+	if len(rel.Cols) != 1 {
+		return nil, fmt.Errorf("engine: IN subquery must return one column, got %d", len(rel.Cols))
+	}
+	keys := types.NewKeySet()
+	sawNull := false
+	for _, row := range rel.Rows {
+		if row[0].IsNull() {
+			sawNull = true
+			continue
+		}
+		keys.AddKey(row, []int{0})
+	}
+	return func(r types.Row) (types.Value, error) {
+		v, err := ev(r)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if v.IsNull() {
+			return types.Null(), nil
+		}
+		probe := types.Row{v}
+		if keys.ContainsKey(probe, []int{0}) {
+			return types.NewBool(!x.Not), nil
+		}
+		if sawNull {
+			return types.Null(), nil
+		}
+		return types.NewBool(x.Not), nil
+	}, nil
+}
+
+// compileLike compiles a SQL LIKE pattern (% multi-char, _ single-char
+// wildcards) into a matcher. Matching is done directly (no regexp) with
+// iterative backtracking on %.
+func compileLike(pattern string) func(string) bool {
+	// Fast paths for the common shapes.
+	if !strings.ContainsAny(pattern, "%_") {
+		return func(s string) bool { return s == pattern }
+	}
+	if strings.Count(pattern, "%") == 2 && !strings.Contains(pattern, "_") &&
+		strings.HasPrefix(pattern, "%") && strings.HasSuffix(pattern, "%") && len(pattern) >= 2 {
+		inner := pattern[1 : len(pattern)-1]
+		if !strings.Contains(inner, "%") {
+			return func(s string) bool { return strings.Contains(s, inner) }
+		}
+	}
+	return func(s string) bool { return likeMatch(s, pattern) }
+}
+
+// likeMatch implements LIKE with greedy-with-backtracking % handling,
+// operating on bytes (patterns in this repo are ASCII).
+func likeMatch(s, p string) bool {
+	var si, pi int
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			starSi = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// truthy applies predicate semantics: only a non-NULL boolean TRUE passes.
+func truthy(v types.Value) bool {
+	return !v.IsNull() && v.Kind() == types.KindBool && v.Bool()
+}

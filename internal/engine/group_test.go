@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"testing"
+
+	"resultdb/internal/catalog"
+	"resultdb/internal/sqlparse"
+)
+
+// salesSource: one fact table for grouping tests.
+func salesSource(t *testing.T) memSource {
+	t.Helper()
+	return memSource{
+		"sales": mkTable(t, "sales",
+			[]catalog.Column{intCol("id"), textCol("region"), textCol("item"), intCol("amount")}, nil,
+			ir(1, "east", "apple", 10),
+			ir(2, "east", "pear", 20),
+			ir(3, "west", "apple", 5),
+			ir(4, "west", "pear", 7),
+			ir(5, "west", "apple", 3),
+			ir(6, "north", "plum", nil)),
+	}
+}
+
+func TestGroupByBasic(t *testing.T) {
+	rel := runSelect(t, salesSource(t), `
+		SELECT s.region, COUNT(*), SUM(s.amount)
+		FROM sales AS s GROUP BY s.region ORDER BY s.region`)
+	expectRows(t, rel,
+		"east | 2 | 30", "north | 1 | NULL", "west | 3 | 15")
+	if rel.Cols[0].Name != "region" {
+		t.Errorf("column name = %s", rel.Cols[0].Name)
+	}
+}
+
+func TestGroupByMultipleKeys(t *testing.T) {
+	rel := runSelect(t, salesSource(t), `
+		SELECT s.region, s.item, COUNT(*)
+		FROM sales AS s WHERE s.amount IS NOT NULL
+		GROUP BY s.region, s.item`)
+	expectRows(t, rel,
+		"east | apple | 1", "east | pear | 1",
+		"west | apple | 2", "west | pear | 1")
+}
+
+func TestGroupByHaving(t *testing.T) {
+	rel := runSelect(t, salesSource(t), `
+		SELECT s.region, SUM(s.amount) AS total
+		FROM sales AS s GROUP BY s.region HAVING SUM(s.amount) > 10`)
+	expectRows(t, rel, "east | 30", "west | 15")
+	// HAVING referencing a group key.
+	rel = runSelect(t, salesSource(t), `
+		SELECT s.region, COUNT(*) FROM sales AS s
+		GROUP BY s.region HAVING s.region = 'west'`)
+	expectRows(t, rel, "west | 3")
+}
+
+func TestGroupByComputedOutput(t *testing.T) {
+	rel := runSelect(t, salesSource(t), `
+		SELECT s.region, SUM(s.amount) * 2 + COUNT(*) AS score
+		FROM sales AS s WHERE s.amount IS NOT NULL GROUP BY s.region`)
+	expectRows(t, rel, "east | 62", "west | 33")
+	if rel.Cols[1].Name != "score" {
+		t.Errorf("alias = %s", rel.Cols[1].Name)
+	}
+}
+
+func TestGroupByOverJoin(t *testing.T) {
+	src := shopSource(t)
+	rel := runSelect(t, src, `
+		SELECT c.name, COUNT(*) FROM customers AS c, orders AS o
+		WHERE c.id = o.cid GROUP BY c.name ORDER BY c.name`)
+	expectRows(t, rel, "custA | 2", "custB | 3", "custC | 1")
+}
+
+func TestGroupByErrors(t *testing.T) {
+	src := salesSource(t)
+	bad := []string{
+		// Non-grouped column in the select list.
+		"SELECT s.item, COUNT(*) FROM sales AS s GROUP BY s.region",
+		// Star with grouping.
+		"SELECT * FROM sales AS s GROUP BY s.region",
+	}
+	for _, sql := range bad {
+		sel, err := sqlparse.ParseSelect(sql)
+		if err != nil {
+			t.Fatalf("%s should parse: %v", sql, err)
+		}
+		ex := &Executor{Src: src}
+		if _, err := ex.Select(sel); err == nil {
+			t.Errorf("%s should fail", sql)
+		}
+	}
+}
+
+func TestGroupByEmptyInput(t *testing.T) {
+	rel := runSelect(t, salesSource(t), `
+		SELECT s.region, COUNT(*) FROM sales AS s WHERE s.amount > 999 GROUP BY s.region`)
+	if len(rel.Rows) != 0 {
+		t.Errorf("empty grouping produced %d rows", len(rel.Rows))
+	}
+	// Without GROUP BY, aggregates over empty input yield one row.
+	rel = runSelect(t, salesSource(t), `
+		SELECT COUNT(*) FROM sales AS s WHERE s.amount > 999`)
+	if len(rel.Rows) != 1 || rel.Rows[0][0].Int() != 0 {
+		t.Errorf("global aggregate over empty input = %v", rel.Rows)
+	}
+}
+
+func TestGroupByRendersAndReparses(t *testing.T) {
+	sql := "SELECT s.region, COUNT(*) FROM sales AS s WHERE s.amount > 0 GROUP BY s.region HAVING COUNT(*) > 1 ORDER BY s.region LIMIT 3"
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := sqlparse.ParseSelect(sel.SQL())
+	if err != nil {
+		t.Fatalf("rendered GROUP BY does not reparse: %v\n%s", err, sel.SQL())
+	}
+	if again.SQL() != sel.SQL() {
+		t.Errorf("render not stable: %s vs %s", sel.SQL(), again.SQL())
+	}
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"fmt"
+
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/types"
+)
+
+// hashJoinInner joins l and r on the equi columns lCols (positions in l) and
+// rCols (positions in r). With empty column lists it degrades to a Cartesian
+// product. Output schema is l's columns followed by r's.
+func hashJoinInner(l, r *Relation, lCols, rCols []int) *Relation {
+	out := &Relation{Cols: concatCols(l.Cols, r.Cols)}
+	if len(lCols) == 0 {
+		for _, lr := range l.Rows {
+			for _, rr := range r.Rows {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+			}
+		}
+		return out
+	}
+	// Build on the smaller input.
+	if len(r.Rows) <= len(l.Rows) {
+		idx := buildHash(r, rCols)
+		for _, lr := range l.Rows {
+			for _, pos := range probeHash(idx, r, rCols, lr, lCols) {
+				out.Rows = append(out.Rows, concatRows(lr, r.Rows[pos]))
+			}
+		}
+		return out
+	}
+	idx := buildHash(l, lCols)
+	for _, rr := range r.Rows {
+		for _, pos := range probeHash(idx, l, lCols, rr, rCols) {
+			out.Rows = append(out.Rows, concatRows(l.Rows[pos], rr))
+		}
+	}
+	return out
+}
+
+// joinOn joins l and r with an arbitrary ON expression, inner or left outer.
+// Equi conjuncts of the ON tree are executed as a hash join; remaining
+// conjuncts are evaluated per candidate pair. For a left outer join,
+// unmatched left rows are padded with NULLs.
+func joinOn(l, r *Relation, on sqlparse.Expr, outer bool, sub SubqueryRunner) (*Relation, error) {
+	combined := &Relation{Cols: concatCols(l.Cols, r.Cols)}
+
+	// Split ON into hashable equi pairs and a residual.
+	var lCols, rCols []int
+	var residual []sqlparse.Expr
+	for _, c := range sqlparse.Conjuncts(on) {
+		li, ri, ok := equiPair(c, l, r)
+		if ok {
+			lCols = append(lCols, li)
+			rCols = append(rCols, ri)
+			continue
+		}
+		residual = append(residual, c)
+	}
+	var check boundExpr
+	if len(residual) > 0 {
+		b := &binder{rel: combined, sub: sub}
+		var err error
+		check, err = b.bind(sqlparse.AndAll(residual))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	nullPad := make(types.Row, len(r.Cols))
+	emit := func(lr types.Row, matched *bool, rr types.Row) error {
+		row := concatRows(lr, rr)
+		if check != nil {
+			v, err := check(row)
+			if err != nil {
+				return err
+			}
+			if !truthy(v) {
+				return nil
+			}
+		}
+		*matched = true
+		combined.Rows = append(combined.Rows, row)
+		return nil
+	}
+
+	if len(lCols) > 0 {
+		idx := buildHash(r, rCols)
+		for _, lr := range l.Rows {
+			matched := false
+			for _, pos := range probeHash(idx, r, rCols, lr, lCols) {
+				if err := emit(lr, &matched, r.Rows[pos]); err != nil {
+					return nil, err
+				}
+			}
+			if outer && !matched {
+				combined.Rows = append(combined.Rows, concatRows(lr, nullPad))
+			}
+		}
+		return combined, nil
+	}
+	// No equi conjunct: nested loop.
+	for _, lr := range l.Rows {
+		matched := false
+		for _, rr := range r.Rows {
+			if err := emit(lr, &matched, rr); err != nil {
+				return nil, err
+			}
+		}
+		if outer && !matched {
+			combined.Rows = append(combined.Rows, concatRows(lr, nullPad))
+		}
+	}
+	return combined, nil
+}
+
+// equiPair recognizes an ON conjunct "x = y" where one side resolves in l
+// and the other in r; returns their column positions.
+func equiPair(e sqlparse.Expr, l, r *Relation) (li, ri int, ok bool) {
+	b, isBin := e.(*sqlparse.Binary)
+	if !isBin || b.Op != sqlparse.OpEq {
+		return 0, 0, false
+	}
+	lc, lok := b.L.(*sqlparse.ColumnRef)
+	rc, rok := b.R.(*sqlparse.ColumnRef)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	if i, err := l.ColIndex(lc.Table, lc.Column); err == nil {
+		if j, err := r.ColIndex(rc.Table, rc.Column); err == nil {
+			return i, j, true
+		}
+	}
+	if i, err := l.ColIndex(rc.Table, rc.Column); err == nil {
+		if j, err := r.ColIndex(lc.Table, lc.Column); err == nil {
+			return i, j, true
+		}
+	}
+	return 0, 0, false
+}
+
+// HashJoin is the exported inner hash join used by internal/core when
+// folding join-graph nodes (Algorithm 3). Empty key lists produce a
+// Cartesian product.
+func HashJoin(l, r *Relation, lCols, rCols []int) *Relation {
+	return hashJoinInner(l, r, lCols, rCols)
+}
+
+// SemiJoin filters l to the rows whose key appears in r (l ⋉ r); the
+// primitive of the paper's reduction phase (Section 4.1).
+func SemiJoin(l *Relation, lCols []int, r *Relation, rCols []int) *Relation {
+	return semiJoinRows(l, lCols, r, rCols)
+}
+
+// semiJoinRows filters l to rows whose key appears in r (l ⋉ r).
+func semiJoinRows(l *Relation, lCols []int, r *Relation, rCols []int) *Relation {
+	keys := types.NewKeySet()
+	for _, rr := range r.Rows {
+		keys.AddKey(rr, rCols)
+	}
+	out := &Relation{Cols: l.Cols}
+	for _, lr := range l.Rows {
+		if keys.ContainsKey(lr, lCols) {
+			out.Rows = append(out.Rows, lr)
+		}
+	}
+	return out
+}
+
+type hashTable map[uint64][]int
+
+func buildHash(r *Relation, cols []int) hashTable {
+	idx := make(hashTable, len(r.Rows))
+	for pos, row := range r.Rows {
+		if hasNull(row, cols) {
+			continue
+		}
+		h := row.HashKey(cols)
+		idx[h] = append(idx[h], pos)
+	}
+	return idx
+}
+
+func probeHash(idx hashTable, built *Relation, builtCols []int, probe types.Row, probeCols []int) []int {
+	if hasNull(probe, probeCols) {
+		return nil
+	}
+	h := probe.HashKey(probeCols)
+	candidates := idx[h]
+	if len(candidates) == 0 {
+		return nil
+	}
+	var out []int
+	for _, pos := range candidates {
+		if keysMatch(built.Rows[pos], builtCols, probe, probeCols) {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+func hasNull(r types.Row, cols []int) bool {
+	for _, c := range cols {
+		if r[c].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func keysMatch(a types.Row, aCols []int, b types.Row, bCols []int) bool {
+	for i := range aCols {
+		if !types.Equal(a[aCols[i]], b[bCols[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func concatCols(a, b []ColRef) []ColRef {
+	out := make([]ColRef, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func concatRows(a, b types.Row) types.Row {
+	out := make(types.Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// crossCheck asserts both column lists have equal length; join construction
+// bugs fail loudly instead of corrupting results.
+func crossCheck(lCols, rCols []int) error {
+	if len(lCols) != len(rCols) {
+		return fmt.Errorf("engine: mismatched join key arity %d vs %d", len(lCols), len(rCols))
+	}
+	return nil
+}

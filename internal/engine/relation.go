@@ -1,0 +1,155 @@
+// Package engine implements query execution for the reproduction's
+// main-memory DBMS: SPJ analysis (join-graph extraction and predicate
+// pushdown), a greedy cardinality-based join planner, hash joins and left
+// outer joins, expression evaluation with SQL three-valued logic, DISTINCT,
+// aggregation (COUNT), ORDER BY, and LIMIT.
+//
+// Operators materialize intermediate relations (batch-at-a-time execution),
+// which matches a main-memory engine and keeps cardinalities exact — the
+// paper injects true cardinalities into mutable's optimizer for the same
+// effect (Section 6.3).
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"resultdb/internal/types"
+)
+
+// ColRef identifies one column of an intermediate relation: the relation
+// alias it came from, its name, and its type.
+type ColRef struct {
+	Rel  string
+	Name string
+	Kind types.Kind
+}
+
+// Relation is a materialized intermediate result: a schema plus rows.
+type Relation struct {
+	Cols []ColRef
+	Rows []types.Row
+}
+
+// ColIndex resolves a (possibly table-qualified) column reference against
+// the schema. rel == "" means a bare column name, which must be unambiguous.
+func (r *Relation) ColIndex(rel, name string) (int, error) {
+	found := -1
+	for i, c := range r.Cols {
+		if !equalFold(c.Name, name) {
+			continue
+		}
+		if rel != "" && !equalFold(c.Rel, rel) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("engine: ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if rel != "" {
+			return 0, fmt.Errorf("engine: unknown column %s.%s", rel, name)
+		}
+		return 0, fmt.Errorf("engine: unknown column %s", name)
+	}
+	return found, nil
+}
+
+// ColumnsOf returns the positions of every column belonging to alias rel,
+// in schema order.
+func (r *Relation) ColumnsOf(rel string) []int {
+	var out []int
+	for i, c := range r.Cols {
+		if equalFold(c.Rel, rel) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Project returns a new relation restricted to the given column positions.
+func (r *Relation) Project(cols []int) *Relation {
+	out := &Relation{Cols: make([]ColRef, len(cols))}
+	for i, c := range cols {
+		out.Cols[i] = r.Cols[c]
+	}
+	out.Rows = make([]types.Row, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = row.Project(cols)
+	}
+	return out
+}
+
+// Distinct returns a new relation with duplicate rows removed (first
+// occurrence wins).
+func (r *Relation) Distinct() *Relation {
+	seen := types.NewRowSet()
+	out := &Relation{Cols: r.Cols}
+	for _, row := range r.Rows {
+		if seen.Add(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// SortBy orders rows by the given key columns (all ascending unless desc).
+func (r *Relation) SortBy(keys []int, desc []bool) {
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		for k, col := range keys {
+			c := types.Compare(a[col], b[col])
+			if c == 0 {
+				continue
+			}
+			if desc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// WireSize returns the Section 6.1 result-set size of the relation in bytes.
+func (r *Relation) WireSize() int {
+	n := 0
+	for _, row := range r.Rows {
+		n += row.WireSize()
+	}
+	return n
+}
+
+// ColumnNames renders output column labels ("rel.name" when rel is set).
+func (r *Relation) ColumnNames() []string {
+	out := make([]string, len(r.Cols))
+	for i, c := range r.Cols {
+		if c.Rel != "" {
+			out[i] = c.Rel + "." + c.Name
+		} else {
+			out[i] = c.Name
+		}
+	}
+	return out
+}
+
+// equalFold is a cheap ASCII case-insensitive compare (identifiers are ASCII).
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

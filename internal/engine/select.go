@@ -1,0 +1,508 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/storage"
+	"resultdb/internal/types"
+)
+
+// Executor evaluates SELECT statements against a Source.
+type Executor struct {
+	Src Source
+	// DPJoinOrder switches the SPJ join ordering from the greedy heuristic
+	// to the DPsize optimal search (see JoinAllDP). Greedy is the default.
+	DPJoinOrder bool
+}
+
+// Select evaluates sel and returns the single-table result. RESULTDB
+// queries are not handled here (internal/db routes them to internal/core);
+// the ResultDB flag is ignored so the same AST can be executed both ways.
+func (e *Executor) Select(sel *sqlparse.Select) (*Relation, error) {
+	if hasAggregates(sel.Items) || len(sel.GroupBy) > 0 || sel.Having != nil {
+		return e.selectGrouped(sel)
+	}
+	if !hasOuterJoin(sel) {
+		spec, err := AnalyzeSPJ(sel, e.Src)
+		if err == nil {
+			joined, err := e.RunSPJ(spec)
+			if err != nil {
+				return nil, err
+			}
+			out, err := projectAttrs(joined, spec.Projection)
+			if err != nil {
+				return nil, err
+			}
+			if sel.Distinct {
+				out = out.Distinct()
+			}
+			return e.finish(out, sel)
+		}
+		// Analysis can fail for legitimate non-SPJ shapes (computed select
+		// items); the sequential path below handles those. Genuine errors
+		// (unknown columns) resurface there.
+	}
+	return e.selectSequential(sel)
+}
+
+// finish applies ORDER BY and LIMIT to the projected relation.
+func (e *Executor) finish(rel *Relation, sel *sqlparse.Select) (*Relation, error) {
+	if len(sel.OrderBy) > 0 {
+		keys := make([]int, len(sel.OrderBy))
+		desc := make([]bool, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			cr, ok := o.Expr.(*sqlparse.ColumnRef)
+			if !ok {
+				return nil, fmt.Errorf("engine: ORDER BY supports column references only")
+			}
+			idx, err := rel.ColIndex(cr.Table, cr.Column)
+			if err != nil {
+				return nil, fmt.Errorf("engine: ORDER BY column must appear in the select list: %w", err)
+			}
+			keys[i] = idx
+			desc[i] = o.Desc
+		}
+		rel.SortBy(keys, desc)
+	}
+	if sel.Limit != nil && int64(len(rel.Rows)) > *sel.Limit {
+		rel.Rows = rel.Rows[:*sel.Limit]
+	}
+	return rel, nil
+}
+
+// RunSPJ executes the join part of an analyzed SPJ query: scan with pushed
+// filters, greedy hash-join order by live cardinality, then residual
+// predicates. The output schema contains every column of every relation,
+// alias-qualified.
+func (e *Executor) RunSPJ(spec *SPJSpec) (*Relation, error) {
+	rels, err := e.BaseRelations(spec)
+	if err != nil {
+		return nil, err
+	}
+	join := JoinAll
+	if e.DPJoinOrder {
+		join = JoinAllDP
+	}
+	joined, err := join(spec.JoinPreds, rels)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Residual) > 0 {
+		joined, err = e.filter(joined, sqlparse.AndAll(spec.Residual))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return joined, nil
+}
+
+// JoinAll joins all relations: start from the smallest, repeatedly add
+// the connected relation with the smallest cardinality (falling back to a
+// Cartesian product when the residual graph is disconnected). Cycle edges
+// whose endpoints are already joined are applied inside the same step via
+// composite keys, so every equi predicate is enforced exactly once.
+//
+// rels is keyed by lower-cased alias. It is also the post-join operator of
+// the paper (Section 6.4): internal/core hands it the reduced relations.
+func JoinAll(preds []JoinPred, rels map[string]*Relation) (*Relation, error) {
+	return JoinAllTrace(preds, rels, nil)
+}
+
+// JoinAllTrace is JoinAll with an optional step callback receiving one line
+// per join (keys, input and output cardinalities); EXPLAIN uses it.
+func JoinAllTrace(preds []JoinPred, rels map[string]*Relation, trace func(string)) (*Relation, error) {
+	remaining := make(map[string]*Relation, len(rels))
+	for k, v := range rels {
+		remaining[k] = v
+	}
+
+	// Pick the smallest relation as the seed.
+	var curAlias string
+	for alias, rel := range remaining {
+		if curAlias == "" || len(rel.Rows) < len(remaining[curAlias].Rows) {
+			curAlias = alias
+		}
+	}
+	cur := remaining[curAlias]
+	delete(remaining, curAlias)
+	inSet := map[string]bool{curAlias: true}
+
+	connected := func(alias string) bool {
+		for _, j := range preds {
+			l, r := strings.ToLower(j.LeftRel), strings.ToLower(j.RightRel)
+			if l == alias && inSet[r] || r == alias && inSet[l] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for len(remaining) > 0 {
+		// Choose the next relation: smallest among connected ones, else
+		// smallest overall.
+		next := ""
+		nextConnected := false
+		for alias, rel := range remaining {
+			c := connected(alias)
+			switch {
+			case next == "":
+				next, nextConnected = alias, c
+			case c && !nextConnected:
+				next, nextConnected = alias, c
+			case c == nextConnected && len(rel.Rows) < len(remaining[next].Rows):
+				next = alias
+			}
+		}
+		nrel := remaining[next]
+		delete(remaining, next)
+
+		// Gather every join predicate between `next` and the joined set.
+		var lCols, rCols []int
+		for _, j := range preds {
+			l, r := strings.ToLower(j.LeftRel), strings.ToLower(j.RightRel)
+			var side JoinPred
+			switch {
+			case inSet[l] && r == next:
+				side = j
+			case inSet[r] && l == next:
+				side = j.Reverse()
+			default:
+				continue
+			}
+			li, err := cur.ColIndex(side.LeftRel, side.LeftCol)
+			if err != nil {
+				return nil, err
+			}
+			ri, err := nrel.ColIndex(side.RightRel, side.RightCol)
+			if err != nil {
+				return nil, err
+			}
+			lCols = append(lCols, li)
+			rCols = append(rCols, ri)
+		}
+		if err := crossCheck(lCols, rCols); err != nil {
+			return nil, err
+		}
+		before := len(cur.Rows)
+		cur = hashJoinInner(cur, nrel, lCols, rCols)
+		if trace != nil {
+			kind := "hash join"
+			if len(lCols) == 0 {
+				kind = "cross join"
+			}
+			trace(fmt.Sprintf("%s + %s  keys: %d  rows: %d x %d -> %d",
+				kind, next, len(lCols), before, len(nrel.Rows), len(cur.Rows)))
+		}
+		inSet[next] = true
+	}
+	return cur, nil
+}
+
+// BaseRelations scans every relation of an analyzed query with its
+// pushed-down filters applied (the σ_F step). Keys are lower-cased aliases.
+// internal/core reduces exactly these relations.
+func (e *Executor) BaseRelations(spec *SPJSpec) (map[string]*Relation, error) {
+	rels := make(map[string]*Relation, len(spec.Rels))
+	for _, r := range spec.Rels {
+		rel, err := e.baseRelation(r, spec.Filters[r.Alias])
+		if err != nil {
+			return nil, err
+		}
+		rels[strings.ToLower(r.Alias)] = rel
+	}
+	return rels, nil
+}
+
+// baseRelation scans one base table into an alias-qualified relation,
+// applying the pushed-down filter conjuncts during the scan.
+func (e *Executor) baseRelation(r RelRef, filters []sqlparse.Expr) (*Relation, error) {
+	t, err := e.Src.Table(r.Table)
+	if err != nil {
+		return nil, err
+	}
+	rel := &Relation{Cols: make([]ColRef, len(t.Def.Columns))}
+	for i, c := range t.Def.Columns {
+		rel.Cols[i] = ColRef{Rel: r.Alias, Name: c.Name, Kind: c.Type}
+	}
+	if len(filters) == 0 {
+		rel.Rows = t.Rows
+		return rel, nil
+	}
+	b := &binder{rel: rel, sub: e.subRunner()}
+	check, err := b.bind(sqlparse.AndAll(filters))
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Cols: rel.Cols}
+	for _, row := range t.Rows {
+		v, err := check(row)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(v) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// filter returns the rows of rel satisfying cond.
+func (e *Executor) filter(rel *Relation, cond sqlparse.Expr) (*Relation, error) {
+	if cond == nil {
+		return rel, nil
+	}
+	b := &binder{rel: rel, sub: e.subRunner()}
+	check, err := b.bind(cond)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Cols: rel.Cols}
+	for _, row := range rel.Rows {
+		v, err := check(row)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(v) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) subRunner() SubqueryRunner {
+	return func(sub *sqlparse.Select) (*Relation, error) {
+		if sub.ResultDB {
+			return nil, fmt.Errorf("engine: RESULTDB is not allowed in subqueries")
+		}
+		return e.Select(sub)
+	}
+}
+
+// selectSequential executes FROM items left to right (required for outer
+// joins, whose result depends on join order), then WHERE, projection,
+// DISTINCT, ORDER BY, LIMIT.
+func (e *Executor) selectSequential(sel *sqlparse.Select) (*Relation, error) {
+	var cur *Relation
+	for _, item := range sel.From {
+		base, err := e.baseRelation(RelRef{Alias: item.Ref.Name(), Table: item.Ref.Table}, nil)
+		if err != nil {
+			return nil, err
+		}
+		if cur == nil {
+			cur = base
+		} else {
+			cur = hashJoinInner(cur, base, nil, nil) // comma join: cross product
+		}
+		for _, j := range item.Joins {
+			right, err := e.baseRelation(RelRef{Alias: j.Ref.Name(), Table: j.Ref.Table}, nil)
+			if err != nil {
+				return nil, err
+			}
+			cur, err = joinOn(cur, right, j.On, j.Type == sqlparse.JoinLeftOuter, e.subRunner())
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cur == nil {
+		return nil, fmt.Errorf("engine: query has no FROM clause")
+	}
+	var err error
+	cur, err = e.filter(cur, sel.Where)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.projectItems(cur, sel.Items)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Distinct {
+		out = out.Distinct()
+	}
+	return e.finish(out, sel)
+}
+
+// projectAttrs projects an alias-qualified relation onto resolved attributes.
+func projectAttrs(rel *Relation, attrs []Attr) (*Relation, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx, err := rel.ColIndex(a.Rel, a.Col)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = idx
+	}
+	return rel.Project(cols), nil
+}
+
+// projectItems evaluates a general select list (stars, columns, computed
+// expressions) against rel.
+func (e *Executor) projectItems(rel *Relation, items []sqlparse.SelectItem) (*Relation, error) {
+	var outCols []ColRef
+	var evals []boundExpr
+	b := &binder{rel: rel, sub: e.subRunner()}
+	for _, item := range items {
+		switch {
+		case item.Star && item.Table == "":
+			for i, c := range rel.Cols {
+				idx := i
+				outCols = append(outCols, c)
+				evals = append(evals, func(r types.Row) (types.Value, error) { return r[idx], nil })
+			}
+		case item.Star:
+			positions := rel.ColumnsOf(item.Table)
+			if len(positions) == 0 {
+				return nil, fmt.Errorf("engine: unknown relation %q in %s.*", item.Table, item.Table)
+			}
+			for _, pos := range positions {
+				idx := pos
+				outCols = append(outCols, rel.Cols[pos])
+				evals = append(evals, func(r types.Row) (types.Value, error) { return r[idx], nil })
+			}
+		default:
+			ev, err := b.bind(item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			col := ColRef{Name: item.Alias}
+			if cr, ok := item.Expr.(*sqlparse.ColumnRef); ok {
+				col.Rel = cr.Table
+				if col.Name == "" {
+					col.Name = cr.Column
+				}
+			}
+			if col.Name == "" {
+				col.Name = item.Expr.SQL()
+			}
+			outCols = append(outCols, col)
+			evals = append(evals, ev)
+		}
+	}
+	out := &Relation{Cols: outCols}
+	for _, row := range rel.Rows {
+		nr := make(types.Row, len(evals))
+		for i, ev := range evals {
+			v, err := ev(row)
+			if err != nil {
+				return nil, err
+			}
+			nr[i] = v
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+func (e *Executor) aggregate(f *sqlparse.FuncCall, rel *Relation, b *binder) (types.Value, types.Kind, error) {
+	if f.Name == "COUNT" && f.Star {
+		return types.NewInt(int64(len(rel.Rows))), types.KindInt, nil
+	}
+	if len(f.Args) != 1 {
+		return types.Value{}, 0, fmt.Errorf("engine: %s expects one argument", f.Name)
+	}
+	ev, err := b.bind(f.Args[0])
+	if err != nil {
+		return types.Value{}, 0, err
+	}
+	switch f.Name {
+	case "COUNT":
+		var n int64
+		for _, row := range rel.Rows {
+			v, err := ev(row)
+			if err != nil {
+				return types.Value{}, 0, err
+			}
+			if !v.IsNull() {
+				n++
+			}
+		}
+		return types.NewInt(n), types.KindInt, nil
+	case "SUM", "AVG":
+		var sum float64
+		var n int64
+		allInt := true
+		for _, row := range rel.Rows {
+			v, err := ev(row)
+			if err != nil {
+				return types.Value{}, 0, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if v.Kind() != types.KindInt {
+				allInt = false
+			}
+			sum += v.Float()
+			n++
+		}
+		if n == 0 {
+			return types.Null(), types.KindNull, nil
+		}
+		if f.Name == "AVG" {
+			return types.NewFloat(sum / float64(n)), types.KindFloat, nil
+		}
+		if allInt {
+			return types.NewInt(int64(sum)), types.KindInt, nil
+		}
+		return types.NewFloat(sum), types.KindFloat, nil
+	case "MIN", "MAX":
+		var best types.Value
+		first := true
+		for _, row := range rel.Rows {
+			v, err := ev(row)
+			if err != nil {
+				return types.Value{}, 0, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if first {
+				best = v
+				first = false
+				continue
+			}
+			c := types.Compare(v, best)
+			if f.Name == "MIN" && c < 0 || f.Name == "MAX" && c > 0 {
+				best = v
+			}
+		}
+		if first {
+			return types.Null(), types.KindNull, nil
+		}
+		return best, best.Kind(), nil
+	}
+	return types.Value{}, 0, fmt.Errorf("engine: unsupported function %s", f.Name)
+}
+
+func hasAggregates(items []sqlparse.SelectItem) bool {
+	for _, item := range items {
+		if item.Expr != nil && sqlparse.HasAggregate(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasOuterJoin(sel *sqlparse.Select) bool {
+	for _, item := range sel.From {
+		for _, j := range item.Joins {
+			if j.Type != sqlparse.JoinInner {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TableToRelation converts a storage table into an alias-qualified relation
+// (used by internal/core and internal/db when bridging layers).
+func TableToRelation(alias string, t *storage.Table) *Relation {
+	rel := &Relation{Cols: make([]ColRef, len(t.Def.Columns))}
+	for i, c := range t.Def.Columns {
+		rel.Cols[i] = ColRef{Rel: alias, Name: c.Name, Kind: c.Type}
+	}
+	rel.Rows = t.Rows
+	return rel
+}

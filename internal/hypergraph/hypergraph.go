@@ -1,0 +1,252 @@
+// Package hypergraph implements the query hypergraph and the GYO
+// (Graham/Yu-Ozsoyoglu) reduction used to decide α-acyclicity.
+//
+// The paper (Section 4.1) deliberately trades the classical notion of
+// α-acyclicity for the cheaper JG-acyclicity — "checking for α-acyclicity
+// requires for example the application of the GYO algorithm ... which is
+// computationally more expensive" — and leaves α-acyclicity for future work.
+// This package supplies that future-work piece: a query can be JG-cyclic yet
+// α-acyclic (a triangle of join predicates over the same attribute class is
+// the canonical example), in which case a GYO-derived join tree lets
+// Yannakakis' algorithm run without any folding at all.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"resultdb/internal/engine"
+)
+
+// Hypergraph models a query: one hyperedge per relation instance, whose
+// vertices are the equivalence classes of join attributes (attributes made
+// equal by the query's join predicates, transitively).
+type Hypergraph struct {
+	// Edges maps relation alias (lower-cased) to its vertex set.
+	Edges map[string]map[int]bool
+	// ClassOf maps "alias.column" (lower-cased) to its vertex id.
+	ClassOf map[string]int
+	// Members lists, per vertex id, the attributes in the class.
+	Members [][]engine.Attr
+}
+
+// Build constructs the hypergraph of an analyzed SPJ query.
+func Build(spec *engine.SPJSpec) *Hypergraph {
+	// Union-find over join attributes.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	add := func(x string) {
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+	}
+	key := func(rel, col string) string {
+		return strings.ToLower(rel) + "." + strings.ToLower(col)
+	}
+	attrOf := map[string]engine.Attr{}
+	for _, j := range spec.JoinPreds {
+		l, r := key(j.LeftRel, j.LeftCol), key(j.RightRel, j.RightCol)
+		add(l)
+		add(r)
+		attrOf[l] = engine.Attr{Rel: j.LeftRel, Col: j.LeftCol}
+		attrOf[r] = engine.Attr{Rel: j.RightRel, Col: j.RightCol}
+		parent[find(l)] = find(r)
+	}
+
+	// Number the classes deterministically by their smallest member key.
+	classRep := map[string][]string{}
+	for x := range parent {
+		root := find(x)
+		classRep[root] = append(classRep[root], x)
+	}
+	var roots []string
+	for root, members := range classRep {
+		sort.Strings(members)
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return classRep[roots[i]][0] < classRep[roots[j]][0]
+	})
+	h := &Hypergraph{
+		Edges:   map[string]map[int]bool{},
+		ClassOf: map[string]int{},
+	}
+	for id, root := range roots {
+		var members []engine.Attr
+		for _, x := range classRep[root] {
+			h.ClassOf[x] = id
+			members = append(members, attrOf[x])
+		}
+		h.Members = append(h.Members, members)
+	}
+
+	// One hyperedge per relation: the classes its join attributes belong to.
+	for _, r := range spec.Rels {
+		alias := strings.ToLower(r.Alias)
+		h.Edges[alias] = map[int]bool{}
+		for _, col := range spec.JoinAttrsOf(r.Alias) {
+			if id, ok := h.ClassOf[key(r.Alias, col)]; ok {
+				h.Edges[alias][id] = true
+			}
+		}
+	}
+	return h
+}
+
+// JoinTreeEdge connects a relation to its parent in a GYO-derived join tree.
+type JoinTreeEdge struct {
+	Child  string
+	Parent string
+	// SharedClasses are the vertex ids both hyperedges contain — the
+	// attributes a semi-join between the two relations must compare.
+	SharedClasses []int
+}
+
+// GYO runs the Graham/Yu–Özsoyoğlu reduction: repeatedly (1) remove
+// vertices occurring in exactly one hyperedge, and (2) remove hyperedges
+// contained in another hyperedge, recording the containment as a join-tree
+// edge. The query is α-acyclic iff at most one (empty) hyperedge remains.
+//
+// It returns whether the hypergraph is α-acyclic and, if so, the join tree
+// (child→parent containment order; relations removed later are nearer the
+// root).
+func (h *Hypergraph) GYO() (bool, []JoinTreeEdge) {
+	// Work on copies.
+	edges := map[string]map[int]bool{}
+	for alias, vs := range h.Edges {
+		cp := map[int]bool{}
+		for v := range vs {
+			cp[v] = true
+		}
+		edges[alias] = cp
+	}
+	var tree []JoinTreeEdge
+
+	names := func() []string {
+		out := make([]string, 0, len(edges))
+		for a := range edges {
+			out = append(out, a)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	for {
+		changed := false
+
+		// (1) Remove vertices appearing in exactly one hyperedge.
+		count := map[int]int{}
+		for _, vs := range edges {
+			for v := range vs {
+				count[v]++
+			}
+		}
+		for _, alias := range names() {
+			for v := range edges[alias] {
+				if count[v] == 1 {
+					delete(edges[alias], v)
+					changed = true
+				}
+			}
+		}
+
+		// (2) Remove hyperedges contained in another (ears), recording the
+		// containment witness as the tree parent.
+		aliases := names()
+		for _, a := range aliases {
+			if _, alive := edges[a]; !alive {
+				continue
+			}
+			for _, b := range aliases {
+				if a == b {
+					continue
+				}
+				if _, alive := edges[b]; !alive {
+					continue
+				}
+				if containedIn(edges[a], edges[b]) {
+					var shared []int
+					for v := range edges[a] {
+						shared = append(shared, v)
+					}
+					sort.Ints(shared)
+					tree = append(tree, JoinTreeEdge{Child: a, Parent: b, SharedClasses: shared})
+					delete(edges, a)
+					changed = true
+					break
+				}
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+	if len(edges) > 1 {
+		return false, nil
+	}
+	// Append the root (the surviving hyperedge) as a self-rooted marker so
+	// callers know the tree's root.
+	for alias := range edges {
+		tree = append(tree, JoinTreeEdge{Child: alias, Parent: "", SharedClasses: nil})
+	}
+	return true, tree
+}
+
+// containedIn reports a ⊆ b. Empty sets are contained in everything, which
+// is exactly what the GYO ear-removal needs once isolated vertices are gone.
+func containedIn(a, b map[int]bool) bool {
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// AlphaAcyclic reports whether the analyzed query is α-acyclic.
+func AlphaAcyclic(spec *engine.SPJSpec) bool {
+	ok, _ := Build(spec).GYO()
+	return ok
+}
+
+// Classify names the acyclicity class of a query under both notions, for
+// diagnostics and EXPLAIN: "acyclic" (JG-acyclic, hence also α-acyclic),
+// "alpha-acyclic" (JG-cyclic but α-acyclic — folding is avoidable), or
+// "cyclic" (neither).
+func Classify(spec *engine.SPJSpec, jgCyclic bool) string {
+	if !jgCyclic {
+		return "acyclic"
+	}
+	if AlphaAcyclic(spec) {
+		return "alpha-acyclic"
+	}
+	return "cyclic"
+}
+
+// String renders the hypergraph for debugging.
+func (h *Hypergraph) String() string {
+	var b strings.Builder
+	var aliases []string
+	for a := range h.Edges {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+	for _, a := range aliases {
+		var vs []int
+		for v := range h.Edges[a] {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		fmt.Fprintf(&b, "%s%v ", a, vs)
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,157 @@
+package hypergraph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"resultdb/internal/catalog"
+	"resultdb/internal/engine"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/storage"
+	"resultdb/internal/types"
+)
+
+type memSource map[string]*storage.Table
+
+func (m memSource) Table(name string) (*storage.Table, error) {
+	if t, ok := m[strings.ToLower(name)]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("no table %q", name)
+}
+
+// threeIntTables builds tables a,b,c,d each with (id, k, l).
+func threeIntTables(t *testing.T) memSource {
+	t.Helper()
+	src := memSource{}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		def := catalog.MustTableDef(name, []catalog.Column{
+			{Name: "id", Type: types.KindInt},
+			{Name: "k", Type: types.KindInt},
+			{Name: "l", Type: types.KindInt},
+		})
+		tab := storage.NewTable(def)
+		if err := tab.Insert(types.Row{types.NewInt(1), types.NewInt(1), types.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+		src[name] = tab
+	}
+	return src
+}
+
+func specOf(t *testing.T, src engine.Source, sql string) *engine.SPJSpec {
+	t.Helper()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := engine.AnalyzeSPJ(sel, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestChainIsAlphaAcyclic(t *testing.T) {
+	src := threeIntTables(t)
+	spec := specOf(t, src, `SELECT a.id FROM a AS a, b AS b, c AS c
+		WHERE a.k = b.k AND b.l = c.l`)
+	if !AlphaAcyclic(spec) {
+		t.Error("chain must be alpha-acyclic")
+	}
+	if Classify(spec, false) != "acyclic" {
+		t.Error("JG-acyclic chain classifies as acyclic")
+	}
+}
+
+// TestTriangleSameAttributeIsAlphaAcyclic: the paper's motivating gap. A
+// triangle of predicates over ONE attribute class (a.k = b.k AND b.k = c.k
+// AND a.k = c.k) is JG-cyclic (3 joins >= 3 relations) but alpha-acyclic:
+// all three hyperedges share the single vertex, so GYO reduces them away.
+func TestTriangleSameAttributeIsAlphaAcyclic(t *testing.T) {
+	src := threeIntTables(t)
+	spec := specOf(t, src, `SELECT a.id FROM a AS a, b AS b, c AS c
+		WHERE a.k = b.k AND b.k = c.k AND a.k = c.k`)
+	h := Build(spec)
+	ok, tree := h.GYO()
+	if !ok {
+		t.Fatalf("same-attribute triangle must be alpha-acyclic; hypergraph %s", h)
+	}
+	if len(tree) != 3 { // two containment edges + the root marker
+		t.Errorf("join tree edges = %d, want 3", len(tree))
+	}
+	if Classify(spec, true) != "alpha-acyclic" {
+		t.Error("classification should be alpha-acyclic")
+	}
+}
+
+// TestTriangleDistinctAttributesIsCyclic: a genuine cycle — three relations
+// pairwise joined on three DIFFERENT attribute classes — is cyclic under
+// both notions (the classical triangle query).
+func TestTriangleDistinctAttributesIsCyclic(t *testing.T) {
+	src := threeIntTables(t)
+	spec := specOf(t, src, `SELECT a.id FROM a AS a, b AS b, c AS c
+		WHERE a.k = b.k AND b.l = c.k AND a.l = c.l`)
+	if AlphaAcyclic(spec) {
+		t.Error("distinct-attribute triangle must not be alpha-acyclic")
+	}
+	if Classify(spec, true) != "cyclic" {
+		t.Error("classification should be cyclic")
+	}
+}
+
+func TestStarIsAlphaAcyclic(t *testing.T) {
+	src := threeIntTables(t)
+	spec := specOf(t, src, `SELECT a.id FROM a AS a, b AS b, c AS c, d AS d
+		WHERE a.k = b.k AND a.l = c.k AND a.id = d.k`)
+	ok, tree := Build(spec).GYO()
+	if !ok {
+		t.Fatal("star must be alpha-acyclic")
+	}
+	// The center must be the root (removed last).
+	root := tree[len(tree)-1]
+	if root.Parent != "" || root.Child != "a" {
+		t.Errorf("root = %+v, want relation a", root)
+	}
+}
+
+func TestEquivalenceClasses(t *testing.T) {
+	src := threeIntTables(t)
+	spec := specOf(t, src, `SELECT a.id FROM a AS a, b AS b, c AS c
+		WHERE a.k = b.k AND b.k = c.k`)
+	h := Build(spec)
+	// a.k, b.k, c.k all in one class.
+	if len(h.Members) != 1 {
+		t.Fatalf("classes = %d, want 1 (%s)", len(h.Members), h)
+	}
+	if len(h.Members[0]) != 3 {
+		t.Errorf("class members = %d, want 3", len(h.Members[0]))
+	}
+}
+
+func TestCycleOfFourDistinctClasses(t *testing.T) {
+	src := threeIntTables(t)
+	// a-b-c-d-a square on distinct attributes: cyclic under both notions.
+	spec := specOf(t, src, `SELECT a.id FROM a AS a, b AS b, c AS c, d AS d
+		WHERE a.k = b.k AND b.l = c.k AND c.l = d.k AND d.l = a.l`)
+	if AlphaAcyclic(spec) {
+		t.Error("square on distinct attributes must be cyclic")
+	}
+}
+
+func TestSharedClassesOnTreeEdges(t *testing.T) {
+	src := threeIntTables(t)
+	spec := specOf(t, src, `SELECT a.id FROM a AS a, b AS b WHERE a.k = b.k AND a.l = b.l`)
+	ok, tree := Build(spec).GYO()
+	if !ok {
+		t.Fatal("two relations are always alpha-acyclic")
+	}
+	// The containment edge must share both classes.
+	if len(tree) != 2 {
+		t.Fatalf("tree = %+v", tree)
+	}
+	if len(tree[0].SharedClasses) != 2 {
+		t.Errorf("shared classes = %v, want 2 entries", tree[0].SharedClasses)
+	}
+}

@@ -1,0 +1,108 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resultdb/internal/engine"
+)
+
+// randomSpec builds a random SPJ spec over the four test tables with a
+// spanning tree plus optional extra predicates.
+func randomSpec(t *testing.T, rng *rand.Rand) (*engine.SPJSpec, bool) {
+	t.Helper()
+	src := threeIntTables(t)
+	names := []string{"a", "b", "c", "d"}
+	n := 2 + rng.Intn(3)
+	cols := []string{"k", "l", "id"}
+	var preds []string
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		preds = append(preds, fmt.Sprintf("%s.%s = %s.%s",
+			names[i], cols[rng.Intn(2)], names[j], cols[rng.Intn(2)]))
+	}
+	extra := rng.Intn(3)
+	for e := 0; e < extra; e++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		if x == y {
+			continue
+		}
+		preds = append(preds, fmt.Sprintf("%s.%s = %s.%s",
+			names[x], cols[rng.Intn(2)], names[y], cols[rng.Intn(2)]))
+	}
+	var from []string
+	for i := 0; i < n; i++ {
+		from = append(from, names[i]+" AS "+names[i])
+	}
+	sql := fmt.Sprintf("SELECT a.id FROM %s WHERE %s",
+		strings.Join(from, ", "), strings.Join(preds, " AND "))
+	spec := specOf(t, src, sql)
+	// JG-cyclicity by the paper's edge-count test over distinct pairs.
+	pairs := map[string]bool{}
+	for _, p := range spec.JoinPreds {
+		l, r := strings.ToLower(p.LeftRel), strings.ToLower(p.RightRel)
+		if l > r {
+			l, r = r, l
+		}
+		pairs[l+"|"+r] = true
+	}
+	jgCyclic := len(pairs) >= len(spec.Rels)
+	return spec, jgCyclic
+}
+
+// TestJGAcyclicImpliesAlphaAcyclic: the theory guarantee behind the paper's
+// Definition 4.2 choice — JG-acyclicity is strictly stronger, so every
+// JG-acyclic query must pass the GYO test. (The converse does not hold;
+// TestTriangleSameAttributeIsAlphaAcyclic shows the gap.)
+func TestJGAcyclicImpliesAlphaAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	checkedAcyclic := 0
+	for trial := 0; trial < 400; trial++ {
+		spec, jgCyclic := randomSpec(t, rng)
+		if jgCyclic {
+			continue
+		}
+		checkedAcyclic++
+		if !AlphaAcyclic(spec) {
+			t.Fatalf("trial %d: JG-acyclic query failed the GYO test: %v",
+				trial, spec.JoinPreds)
+		}
+	}
+	if checkedAcyclic < 50 {
+		t.Fatalf("too few acyclic samples (%d); generator broken?", checkedAcyclic)
+	}
+}
+
+// TestGYOJoinTreeCoversAllRelations: when GYO succeeds, the returned join
+// tree must mention every relation exactly once as a child.
+func TestGYOJoinTreeCoversAllRelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	covered := 0
+	for trial := 0; trial < 300; trial++ {
+		spec, _ := randomSpec(t, rng)
+		h := Build(spec)
+		ok, tree := h.GYO()
+		if !ok {
+			continue
+		}
+		covered++
+		seen := map[string]int{}
+		for _, e := range tree {
+			seen[e.Child]++
+		}
+		if len(seen) != len(spec.Rels) {
+			t.Fatalf("trial %d: tree covers %d of %d relations: %+v",
+				trial, len(seen), len(spec.Rels), tree)
+		}
+		for child, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("trial %d: relation %s appears %d times", trial, child, cnt)
+			}
+		}
+	}
+	if covered < 100 {
+		t.Fatalf("too few alpha-acyclic samples (%d)", covered)
+	}
+}

@@ -1,0 +1,443 @@
+// Package rewrite implements the paper's four SQL-based rewrite methods
+// (Section 3), which let any SQL-92 system return a result subdatabase by
+// running rewritten plain-SQL statements:
+//
+//	RM 1: dynamic SELECT DISTINCT   — one DISTINCT query per output relation
+//	RM 2: materialized DISTINCT     — materialize the join once, DISTINCT from it
+//	RM 3: dynamic subquery          — per-relation semi-join via IN (SELECT ...)
+//	RM 4: materialized subquery     — materialize a join index of primary keys
+//
+// The rewriter is pure SQL-to-SQL: it consumes a parsed SELECT and emits SQL
+// text for a target system reachable through the Executor interface, exactly
+// how the paper drives PostgreSQL.
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"resultdb/internal/core"
+	"resultdb/internal/engine"
+	"resultdb/internal/sqlparse"
+)
+
+// Method enumerates the rewrite methods of Figure 4.
+type Method uint8
+
+const (
+	// RM1 is the dynamic SELECT DISTINCT rewrite (Section 3.1).
+	RM1 Method = iota + 1
+	// RM2 is the materialized SELECT DISTINCT rewrite (Section 3.2).
+	RM2
+	// RM3 is the dynamic subquery rewrite (Section 3.3).
+	RM3
+	// RM4 is the materialized subquery (join index) rewrite (Section 3.4).
+	RM4
+)
+
+// String names the method as in the paper.
+func (m Method) String() string {
+	switch m {
+	case RM1:
+		return "RM1"
+	case RM2:
+		return "RM2"
+	case RM3:
+		return "RM3"
+	case RM4:
+		return "RM4"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// Methods lists all four methods in order.
+var Methods = []Method{RM1, RM2, RM3, RM4}
+
+// Mode selects which attributes each output relation carries.
+type Mode uint8
+
+const (
+	// ModeRDB projects A_i (Definition 2.2).
+	ModeRDB Mode = iota
+	// ModeRDBRP projects A_i* = A_i ∪ A_i^J (Definition 2.3).
+	ModeRDBRP
+)
+
+// OutputQuery is one rewritten per-relation query.
+type OutputQuery struct {
+	// Alias names the output relation the query computes.
+	Alias string
+	// SQL is the rewritten statement.
+	SQL string
+}
+
+// Plan is a fully rewritten query: run Setup, then each Queries entry (its
+// result set is one relation of the subdatabase), then Teardown.
+type Plan struct {
+	Method   Method
+	Setup    []string
+	Queries  []OutputQuery
+	Teardown []string
+}
+
+// Statements flattens the plan for display.
+func (p *Plan) Statements() []string {
+	var out []string
+	out = append(out, p.Setup...)
+	for _, q := range p.Queries {
+		out = append(out, q.SQL)
+	}
+	return append(out, p.Teardown...)
+}
+
+// mvCounter disambiguates materialized view names across concurrent plans.
+var mvCounter atomic.Int64
+
+// Rewrite turns an SPJ SELECT into a Plan under the chosen method and mode.
+// src resolves schema metadata (star expansion, primary keys).
+func Rewrite(sel *sqlparse.Select, src engine.Source, m Method, mode Mode) (*Plan, error) {
+	spec, err := engine.AnalyzeSPJ(sel, src)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: %w", err)
+	}
+	r := &rewriter{sel: sel, spec: spec, src: src, mode: mode}
+	switch m {
+	case RM1:
+		return r.rm1()
+	case RM2:
+		return r.rm2()
+	case RM3:
+		return r.rm3()
+	case RM4:
+		return r.rm4()
+	default:
+		return nil, fmt.Errorf("rewrite: unknown method %v", m)
+	}
+}
+
+type rewriter struct {
+	sel  *sqlparse.Select
+	spec *engine.SPJSpec
+	src  engine.Source
+	mode Mode
+}
+
+// outputs returns the relations of the subdatabase under the current mode.
+func (r *rewriter) outputs() []string {
+	if r.mode == ModeRDB {
+		return r.spec.OutputRels()
+	}
+	var out []string
+	for _, rel := range r.spec.Rels {
+		if len(r.spec.ProjectionOf(rel.Alias)) > 0 || len(r.spec.JoinAttrsOf(rel.Alias)) > 0 {
+			out = append(out, rel.Alias)
+		}
+	}
+	return out
+}
+
+// attrsFor returns the attributes the output relation carries under the mode.
+func (r *rewriter) attrsFor(alias string) []string {
+	if r.mode == ModeRDB {
+		return dedup(r.spec.ProjectionOf(alias))
+	}
+	return core.RelationshipPreservingAttrs(r.spec, alias)
+}
+
+// fromSQL renders the original FROM clause.
+func (r *rewriter) fromSQL() string {
+	var parts []string
+	for _, rel := range r.spec.Rels {
+		if strings.EqualFold(rel.Alias, rel.Table) {
+			parts = append(parts, rel.Table)
+		} else {
+			parts = append(parts, rel.Table+" AS "+rel.Alias)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// whereSQL renders the full original predicate (filters + joins + residual)
+// as one conjunction, or "".
+func (r *rewriter) whereSQL() string {
+	var conj []string
+	for _, rel := range r.spec.Rels {
+		if f := r.spec.FilterSQL(rel.Alias); f != "" {
+			conj = append(conj, f)
+		}
+	}
+	for _, j := range r.spec.JoinPreds {
+		conj = append(conj, j.String())
+	}
+	for _, e := range r.spec.Residual {
+		conj = append(conj, e.SQL())
+	}
+	if len(conj) == 0 {
+		return ""
+	}
+	return strings.Join(conj, " AND ")
+}
+
+func withWhere(sql, where string) string {
+	if where == "" {
+		return sql
+	}
+	return sql + " WHERE " + where
+}
+
+// rm1 (Listing 3): one SELECT DISTINCT per output relation over the original
+// FROM/WHERE, wrapped in a transaction so all queries see one snapshot.
+func (r *rewriter) rm1() (*Plan, error) {
+	p := &Plan{
+		Method:   RM1,
+		Setup:    []string{"BEGIN TRANSACTION"},
+		Teardown: []string{"COMMIT"},
+	}
+	for _, alias := range r.outputs() {
+		cols := qualify(alias, r.attrsFor(alias))
+		sql := withWhere(fmt.Sprintf("SELECT DISTINCT %s FROM %s",
+			strings.Join(cols, ", "), r.fromSQL()), r.whereSQL())
+		p.Queries = append(p.Queries, OutputQuery{Alias: alias, SQL: sql})
+	}
+	return p, nil
+}
+
+// rm2 (Listing 4): materialize the joined result once (with disambiguated
+// column names), run one SELECT DISTINCT per relation against the view, and
+// drop it.
+func (r *rewriter) rm2() (*Plan, error) {
+	mv := fmt.Sprintf("resultdb_rm2_mv_%d", mvCounter.Add(1))
+	var items []string
+	for _, alias := range r.outputs() {
+		for _, col := range r.attrsFor(alias) {
+			items = append(items, fmt.Sprintf("%s.%s AS %s", alias, col, mvCol(alias, col)))
+		}
+	}
+	create := fmt.Sprintf("CREATE MATERIALIZED VIEW %s AS %s", mv,
+		withWhere(fmt.Sprintf("SELECT %s FROM %s", strings.Join(items, ", "), r.fromSQL()), r.whereSQL()))
+	p := &Plan{
+		Method:   RM2,
+		Setup:    []string{create},
+		Teardown: []string{"DROP MATERIALIZED VIEW " + mv},
+	}
+	for _, alias := range r.outputs() {
+		var cols []string
+		for _, col := range r.attrsFor(alias) {
+			cols = append(cols, mvCol(alias, col))
+		}
+		p.Queries = append(p.Queries, OutputQuery{
+			Alias: alias,
+			SQL:   fmt.Sprintf("SELECT DISTINCT %s FROM %s", strings.Join(cols, ", "), mv),
+		})
+	}
+	return p, nil
+}
+
+// rm3 (Listing 5): per output relation, filter it locally and semi-join the
+// rest of the query through an IN subquery.
+//
+// When the relation attaches to the rest of the join graph through exactly
+// one join predicate, the subquery projects the opposite side of that
+// predicate over the remaining relations (the paper's Listing 5 shape).
+// Otherwise the relation's single-column primary key is matched against a
+// subquery containing the entire original query with the relation re-aliased
+// — the general fallback the paper leaves to "the specific join graph".
+func (r *rewriter) rm3() (*Plan, error) {
+	p := &Plan{
+		Method:   RM3,
+		Setup:    []string{"BEGIN TRANSACTION"},
+		Teardown: []string{"COMMIT"},
+	}
+	for _, alias := range r.outputs() {
+		q, err := r.rm3Query(alias)
+		if err != nil {
+			return nil, err
+		}
+		p.Queries = append(p.Queries, OutputQuery{Alias: alias, SQL: q})
+	}
+	return p, nil
+}
+
+func (r *rewriter) rm3Query(alias string) (string, error) {
+	rel, _ := r.spec.RelByAlias(alias)
+	cols := qualify(alias, r.attrsFor(alias))
+	head := fmt.Sprintf("SELECT DISTINCT %s FROM %s AS %s",
+		strings.Join(cols, ", "), rel.Table, alias)
+
+	var conj []string
+	if f := r.spec.FilterSQL(alias); f != "" {
+		conj = append(conj, f)
+	}
+
+	// Join predicates touching this relation, normalized alias-side-left.
+	var touching []engine.JoinPred
+	for _, j := range r.spec.JoinPreds {
+		switch {
+		case strings.EqualFold(j.LeftRel, alias):
+			touching = append(touching, j)
+		case strings.EqualFold(j.RightRel, alias):
+			touching = append(touching, j.Reverse())
+		}
+	}
+
+	switch {
+	case len(touching) == 0 && len(r.spec.Rels) == 1:
+		// Single-relation query: the filter alone is the answer.
+	case len(touching) == 1 && len(r.spec.Residual) == 0:
+		// Listing 5 shape: the rest of the relations in the subquery.
+		j := touching[0]
+		var fromParts []string
+		var subConj []string
+		for _, other := range r.spec.Rels {
+			if strings.EqualFold(other.Alias, alias) {
+				continue
+			}
+			if strings.EqualFold(other.Alias, other.Table) {
+				fromParts = append(fromParts, other.Table)
+			} else {
+				fromParts = append(fromParts, other.Table+" AS "+other.Alias)
+			}
+			if f := r.spec.FilterSQL(other.Alias); f != "" {
+				subConj = append(subConj, f)
+			}
+		}
+		for _, oj := range r.spec.JoinPreds {
+			if strings.EqualFold(oj.LeftRel, alias) || strings.EqualFold(oj.RightRel, alias) {
+				continue
+			}
+			subConj = append(subConj, oj.String())
+		}
+		sub := withWhere(fmt.Sprintf("SELECT %s.%s FROM %s",
+			j.RightRel, j.RightCol, strings.Join(fromParts, ", ")), strings.Join(subConj, " AND "))
+		conj = append(conj, fmt.Sprintf("%s.%s IN (%s)", alias, j.LeftCol, sub))
+	default:
+		// General fallback: match the relation's primary key against the
+		// whole query with the relation re-aliased.
+		pk, err := r.singleColumnPK(rel.Table)
+		if err != nil {
+			return "", fmt.Errorf("rewrite: RM3 on %s: %w", alias, err)
+		}
+		alias2 := alias + "__inner"
+		sub, err := r.wholeQueryProjecting(alias, alias2, pk)
+		if err != nil {
+			return "", err
+		}
+		conj = append(conj, fmt.Sprintf("%s.%s IN (%s)", alias, pk, sub))
+	}
+	return withWhere(head, strings.Join(conj, " AND ")), nil
+}
+
+// wholeQueryProjecting renders the original query with `alias` renamed to
+// alias2, projecting alias2.col.
+func (r *rewriter) wholeQueryProjecting(alias, alias2, col string) (string, error) {
+	ren := func(a string) string {
+		if strings.EqualFold(a, alias) {
+			return alias2
+		}
+		return a
+	}
+	var fromParts []string
+	for _, rel := range r.spec.Rels {
+		fromParts = append(fromParts, rel.Table+" AS "+ren(rel.Alias))
+	}
+	var conj []string
+	for _, rel := range r.spec.Rels {
+		for _, f := range r.spec.Filters[rel.Alias] {
+			conj = append(conj, renameSQL(f, alias, alias2))
+		}
+	}
+	for _, j := range r.spec.JoinPreds {
+		conj = append(conj, fmt.Sprintf("%s.%s = %s.%s",
+			ren(j.LeftRel), j.LeftCol, ren(j.RightRel), j.RightCol))
+	}
+	for _, e := range r.spec.Residual {
+		conj = append(conj, renameSQL(e, alias, alias2))
+	}
+	return withWhere(fmt.Sprintf("SELECT %s.%s FROM %s",
+		alias2, col, strings.Join(fromParts, ", ")), strings.Join(conj, " AND ")), nil
+}
+
+// renameSQL renders e with every reference to alias rewritten to alias2.
+func renameSQL(e sqlparse.Expr, alias, alias2 string) string {
+	clone := cloneExpr(e)
+	sqlparse.WalkExpr(clone, func(x sqlparse.Expr) {
+		if c, ok := x.(*sqlparse.ColumnRef); ok && strings.EqualFold(c.Table, alias) {
+			c.Table = alias2
+		}
+	})
+	return clone.SQL()
+}
+
+// rm4 (Listing 6): materialize a join index of the output relations'
+// primary keys, then fetch each relation's attributes by PK membership.
+func (r *rewriter) rm4() (*Plan, error) {
+	mv := fmt.Sprintf("resultdb_rm4_mv_%d", mvCounter.Add(1))
+	outputs := r.outputs()
+	var items []string
+	pks := make(map[string]string, len(outputs))
+	for _, alias := range outputs {
+		rel, _ := r.spec.RelByAlias(alias)
+		pk, err := r.singleColumnPK(rel.Table)
+		if err != nil {
+			return nil, fmt.Errorf("rewrite: RM4 on %s: %w", alias, err)
+		}
+		pks[alias] = pk
+		items = append(items, fmt.Sprintf("%s.%s AS %s", alias, pk, mvCol(alias, pk)))
+	}
+	create := fmt.Sprintf("CREATE MATERIALIZED VIEW %s AS %s", mv,
+		withWhere(fmt.Sprintf("SELECT DISTINCT %s FROM %s", strings.Join(items, ", "), r.fromSQL()), r.whereSQL()))
+	p := &Plan{
+		Method:   RM4,
+		Setup:    []string{create},
+		Teardown: []string{"DROP MATERIALIZED VIEW " + mv},
+	}
+	for _, alias := range outputs {
+		rel, _ := r.spec.RelByAlias(alias)
+		cols := qualify(alias, r.attrsFor(alias))
+		sql := fmt.Sprintf("SELECT DISTINCT %s FROM %s AS %s WHERE %s.%s IN (SELECT %s FROM %s)",
+			strings.Join(cols, ", "), rel.Table, alias, alias, pks[alias], mvCol(alias, pks[alias]), mv)
+		p.Queries = append(p.Queries, OutputQuery{Alias: alias, SQL: sql})
+	}
+	return p, nil
+}
+
+// singleColumnPK returns the table's primary key column; the materialized
+// subquery rewrites require one.
+func (r *rewriter) singleColumnPK(table string) (string, error) {
+	t, err := r.src.Table(table)
+	if err != nil {
+		return "", err
+	}
+	if len(t.Def.PrimaryKey) != 1 {
+		return "", fmt.Errorf("table %q needs a single-column primary key (has %d)",
+			table, len(t.Def.PrimaryKey))
+	}
+	return t.Def.PrimaryKey[0], nil
+}
+
+func qualify(alias string, cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = alias + "." + c
+	}
+	return out
+}
+
+func mvCol(alias, col string) string {
+	return strings.ToLower(alias) + "_" + strings.ToLower(col)
+}
+
+func dedup(attrs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range attrs {
+		key := strings.ToLower(a)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}

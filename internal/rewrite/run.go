@@ -1,0 +1,91 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"resultdb/internal/db"
+	"resultdb/internal/engine"
+	"resultdb/internal/sqlparse"
+)
+
+// Executor runs SQL text against a target system; *db.Database satisfies it.
+// The paper targets PostgreSQL through the identical narrow surface (SQL in,
+// result sets out), which is exactly what makes RM 1–4 applicable to
+// closed-source systems.
+type Executor interface {
+	Exec(sql string) (*db.Result, error)
+}
+
+// cloneExpr is a package-local alias kept next to its use site.
+func cloneExpr(e sqlparse.Expr) sqlparse.Expr { return sqlparse.CloneExpr(e) }
+
+// Run executes a plan: setup statements, one query per output relation, and
+// teardown (teardown runs even if a query fails, so materialized views never
+// leak). The returned result carries one set per output relation.
+func Run(ex Executor, p *Plan) (*db.Result, error) {
+	for _, sql := range p.Setup {
+		if _, err := ex.Exec(sql); err != nil {
+			return nil, fmt.Errorf("rewrite: setup %q: %w", sql, err)
+		}
+	}
+	res := &db.Result{}
+	var firstErr error
+	for _, q := range p.Queries {
+		r, err := ex.Exec(q.SQL)
+		if err != nil {
+			firstErr = fmt.Errorf("rewrite: query %q: %w", q.SQL, err)
+			break
+		}
+		set := r.First()
+		if set == nil {
+			firstErr = fmt.Errorf("rewrite: query %q returned no result set", q.SQL)
+			break
+		}
+		set.Name = q.Alias
+		for i, c := range set.Columns {
+			// Normalize "table.alias_col" / "alias.col" / "alias_col"
+			// labels to plain column names.
+			if dot := strings.LastIndexByte(c, '.'); dot >= 0 {
+				c = c[dot+1:]
+			}
+			if cut, ok := strings.CutPrefix(strings.ToLower(c), strings.ToLower(q.Alias)+"_"); ok {
+				c = cut
+			}
+			set.Columns[i] = c
+		}
+		res.Sets = append(res.Sets, set)
+	}
+	for _, sql := range p.Teardown {
+		if _, err := ex.Exec(sql); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rewrite: teardown %q: %w", sql, err)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Recommend implements the paper's Section 6.2 rule of thumb: use RM 3 when
+// a single relation is referenced in the projections, RM 4 otherwise (it won
+// in 75% of their cases).
+func Recommend(sel *sqlparse.Select, src engine.Source) (Method, error) {
+	spec, err := engine.AnalyzeSPJ(sel, src)
+	if err != nil {
+		return 0, err
+	}
+	if len(spec.OutputRels()) == 1 {
+		return RM3, nil
+	}
+	return RM4, nil
+}
+
+// RunMethod rewrites and runs sel under one method in one call.
+func RunMethod(ex Executor, src engine.Source, sel *sqlparse.Select, m Method, mode Mode) (*db.Result, error) {
+	p, err := Rewrite(sel, src, m, mode)
+	if err != nil {
+		return nil, err
+	}
+	return Run(ex, p)
+}

@@ -1,0 +1,210 @@
+// Package snapshot saves and restores a whole database — catalog and rows —
+// as one binary blob, using the wire value encoding. It backs the shell's
+// \save and \open commands, so a generated workload (or any session state)
+// can be persisted once and reopened instantly instead of being regenerated.
+package snapshot
+
+import (
+	"fmt"
+	"io"
+
+	"resultdb/internal/catalog"
+	"resultdb/internal/db"
+	"resultdb/internal/types"
+	"resultdb/internal/wire"
+)
+
+const (
+	magic   = 0x52444253 // "RDBS"
+	version = 1
+)
+
+// Save writes every table of d (base tables and materialized views) to w.
+func Save(d *db.Database, w io.Writer) error {
+	e := wire.NewEncoder()
+	e.Uvarint(magic)
+	e.Uvarint(version)
+	names := d.Catalog().Names()
+	e.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		t, err := d.Table(name)
+		if err != nil {
+			return err
+		}
+		encodeDef(e, t.Def)
+		e.Uvarint(uint64(len(t.Rows)))
+		for _, row := range t.Rows {
+			for _, v := range row {
+				e.Value(v)
+			}
+		}
+	}
+	_, err := w.Write(e.Bytes())
+	return err
+}
+
+func encodeDef(e *wire.Encoder, def *catalog.TableDef) {
+	e.Str(def.Name)
+	flags := uint64(0)
+	if def.IsView {
+		flags = 1
+	}
+	e.Uvarint(flags)
+	e.Uvarint(uint64(len(def.Columns)))
+	for _, c := range def.Columns {
+		e.Str(c.Name)
+		e.Uvarint(uint64(c.Type))
+		if c.NotNull {
+			e.Uvarint(1)
+		} else {
+			e.Uvarint(0)
+		}
+	}
+	e.Uvarint(uint64(len(def.PrimaryKey)))
+	for _, k := range def.PrimaryKey {
+		e.Str(k)
+	}
+	e.Uvarint(uint64(len(def.ForeignKeys)))
+	for _, fk := range def.ForeignKeys {
+		e.Str(fk.RefTable)
+		e.Uvarint(uint64(len(fk.Columns)))
+		for i := range fk.Columns {
+			e.Str(fk.Columns[i])
+			e.Str(fk.RefColumns[i])
+		}
+	}
+}
+
+// Load reads a snapshot produced by Save into a fresh database.
+func Load(r io.Reader) (*db.Database, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	dec := wire.NewDecoder(buf)
+	m, err := dec.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %#x", m)
+	}
+	v, err := dec.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d", v)
+	}
+	nTables, err := dec.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	d := db.New()
+	for i := uint64(0); i < nTables; i++ {
+		def, err := decodeDef(dec)
+		if err != nil {
+			return nil, err
+		}
+		t, err := d.CreateTable(def)
+		if err != nil {
+			return nil, err
+		}
+		nRows, err := dec.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		width := len(def.Columns)
+		t.Rows = make([]types.Row, 0, nRows)
+		for r := uint64(0); r < nRows; r++ {
+			row := make(types.Row, width)
+			for c := 0; c < width; c++ {
+				row[c], err = dec.Value()
+				if err != nil {
+					return nil, fmt.Errorf("snapshot: table %s row %d: %w", def.Name, r, err)
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	if dec.Remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes", dec.Remaining())
+	}
+	return d, nil
+}
+
+func decodeDef(dec *wire.Decoder) (*catalog.TableDef, error) {
+	name, err := dec.Str()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := dec.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nCols, err := dec.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]catalog.Column, nCols)
+	for i := range cols {
+		cname, err := dec.Str()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := dec.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		notNull, err := dec.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = catalog.Column{Name: cname, Type: types.Kind(kind), NotNull: notNull == 1}
+	}
+	def, err := catalog.NewTableDef(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	def.IsView = flags&1 != 0
+	nPK, err := dec.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nPK; i++ {
+		k, err := dec.Str()
+		if err != nil {
+			return nil, err
+		}
+		def.PrimaryKey = append(def.PrimaryKey, k)
+	}
+	nFK, err := dec.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nFK; i++ {
+		ref, err := dec.Str()
+		if err != nil {
+			return nil, err
+		}
+		nPairs, err := dec.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		fk := catalog.ForeignKey{RefTable: ref}
+		for p := uint64(0); p < nPairs; p++ {
+			c, err := dec.Str()
+			if err != nil {
+				return nil, err
+			}
+			rc, err := dec.Str()
+			if err != nil {
+				return nil, err
+			}
+			fk.Columns = append(fk.Columns, c)
+			fk.RefColumns = append(fk.RefColumns, rc)
+		}
+		def.ForeignKeys = append(def.ForeignKeys, fk)
+	}
+	return def, nil
+}

@@ -1,0 +1,221 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexical unit with its source position (for error messages).
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep original case
+	pos  int    // byte offset in the input
+}
+
+// keywords recognized by the lexer. Everything else is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "RESULTDB": true, "PRESERVING": true, "DISTINCT": true, "FROM": true,
+	"WHERE": true, "AND": true, "OR": true, "NOT": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "ON": true,
+	"IN": true, "BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "ORDER": true, "BY": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "GROUP": true, "HAVING": true, "CREATE": true, "TABLE": true,
+	"DROP": true, "MATERIALIZED": true, "VIEW": true, "IF": true,
+	"EXISTS": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"PRIMARY": true, "KEY": true, "FOREIGN": true, "REFERENCES": true,
+	"BEGIN": true, "TRANSACTION": true, "EXPLAIN": true, "COMMIT": true, "ROLLBACK": true,
+	"INTEGER": true, "INT": true, "BIGINT": true, "DOUBLE": true,
+	"FLOAT": true, "REAL": true, "TEXT": true, "VARCHAR": true,
+	"CHAR": true, "BOOLEAN": true, "BOOL": true,
+}
+
+// lexer tokenizes SQL text.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front (SQL statements are short).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexWord(start)
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(start); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexQuotedIdent(start); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexWord(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.emit(tokKeyword, upper, start)
+	} else {
+		l.emit(tokIdent, word, start)
+	}
+}
+
+func (l *lexer) lexNumber(start int) error {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if strings.HasSuffix(text, ".") {
+		return fmt.Errorf("sqlparse: malformed number %q at offset %d", text, start)
+	}
+	l.emit(tokNumber, text, start)
+	return nil
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // '' escape
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, b.String(), start)
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparse: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexQuotedIdent(start int) error {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				b.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokIdent, b.String(), start)
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparse: unterminated quoted identifier at offset %d", start)
+}
+
+func (l *lexer) lexSymbol(start int) error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		if two == "!=" {
+			two = "<>"
+		}
+		l.emit(tokSymbol, two, start)
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', ';', '.', '=', '<', '>', '+', '-', '*', '/':
+		l.pos++
+		l.emit(tokSymbol, string(c), start)
+		return nil
+	}
+	return fmt.Errorf("sqlparse: unexpected character %q at offset %d", string(c), start)
+}

@@ -1,0 +1,351 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"resultdb/internal/types"
+)
+
+func parseOne(t *testing.T, sql string) Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := parseOne(t, `CREATE TABLE t (
+		id INTEGER PRIMARY KEY,
+		name VARCHAR(32) NOT NULL,
+		score DOUBLE,
+		ok BOOLEAN,
+		FOREIGN KEY (id) REFERENCES other (oid)
+	)`)
+	ct, ok := st.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ct.Name != "t" || len(ct.Columns) != 4 {
+		t.Fatalf("table %s with %d columns", ct.Name, len(ct.Columns))
+	}
+	if ct.Columns[0].Type != types.KindInt || !ct.Columns[0].PrimaryKey {
+		t.Errorf("col0 = %+v", ct.Columns[0])
+	}
+	if ct.Columns[1].Type != types.KindText || !ct.Columns[1].NotNull {
+		t.Errorf("col1 = %+v", ct.Columns[1])
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "id" {
+		t.Errorf("pk = %v", ct.PrimaryKey)
+	}
+	if len(ct.ForeignKeys) != 1 || ct.ForeignKeys[0].RefTable != "other" {
+		t.Errorf("fk = %+v", ct.ForeignKeys)
+	}
+}
+
+func TestParseTablePrimaryKeyClause(t *testing.T) {
+	st := parseOne(t, "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+	ct := st.(*CreateTable)
+	if strings.Join(ct.PrimaryKey, ",") != "a,b" {
+		t.Errorf("pk = %v", ct.PrimaryKey)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st := parseOne(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (-2, NULL)")
+	ins := st.(*Insert)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	lit := ins.Rows[1][0].(*Literal)
+	if lit.Value.Int() != -2 {
+		t.Errorf("negative literal folded to %v", lit.Value)
+	}
+	if !ins.Rows[1][1].(*Literal).Value.IsNull() {
+		t.Error("NULL literal")
+	}
+}
+
+func TestParseSelectBasics(t *testing.T) {
+	sel, err := ParseSelect(`SELECT DISTINCT c.name AS cname, p.*
+		FROM customers AS c, products p
+		WHERE c.id = 1 AND (p.price < 10 OR p.price > 100)
+		ORDER BY c.name DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Distinct || sel.ResultDB {
+		t.Error("flags wrong")
+	}
+	if len(sel.Items) != 2 || sel.Items[0].Alias != "cname" || !sel.Items[1].Star || sel.Items[1].Table != "p" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	if len(sel.From) != 2 || sel.From[1].Ref.Alias != "p" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || *sel.Limit != 5 {
+		t.Errorf("limit = %v", sel.Limit)
+	}
+}
+
+func TestParseResultDBKeyword(t *testing.T) {
+	sel, err := ParseSelect("SELECT RESULTDB a.x FROM a WHERE a.x > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.ResultDB {
+		t.Error("RESULTDB flag not set")
+	}
+	// RESULTDB DISTINCT both allowed, in that order.
+	sel2, err := ParseSelect("SELECT RESULTDB DISTINCT a.x FROM a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel2.ResultDB || !sel2.Distinct {
+		t.Error("RESULTDB DISTINCT flags")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel, err := ParseSelect(`SELECT p.id FROM products AS p
+		LEFT OUTER JOIN electronics AS e ON p.id = e.pid
+		JOIN clothing AS c ON p.id = c.pid AND c.size = 'M'
+		INNER JOIN x ON x.id = p.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := sel.From[0].Joins
+	if len(joins) != 3 {
+		t.Fatalf("joins = %d", len(joins))
+	}
+	if joins[0].Type != JoinLeftOuter || joins[1].Type != JoinInner || joins[2].Type != JoinInner {
+		t.Errorf("join types = %v %v %v", joins[0].Type, joins[1].Type, joins[2].Type)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	sel, err := ParseSelect(`SELECT a.x FROM a WHERE
+		a.x BETWEEN 1 AND 10
+		AND a.y NOT IN (1, 2, 3)
+		AND a.z LIKE '%foo%'
+		AND a.w IS NOT NULL
+		AND a.v NOT LIKE 'bar%'
+		AND a.u IN (SELECT b.id FROM b WHERE b.k = 'x')
+		AND NOT a.t = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj := Conjuncts(sel.Where)
+	if len(conj) != 7 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if b, ok := conj[0].(*Between); !ok || b.Not {
+		t.Errorf("conj0 = %#v", conj[0])
+	}
+	if in, ok := conj[1].(*InList); !ok || !in.Not || len(in.List) != 3 {
+		t.Errorf("conj1 = %#v", conj[1])
+	}
+	if l, ok := conj[2].(*Like); !ok || l.Pattern != "%foo%" {
+		t.Errorf("conj2 = %#v", conj[2])
+	}
+	if n, ok := conj[3].(*IsNull); !ok || !n.Not {
+		t.Errorf("conj3 = %#v", conj[3])
+	}
+	if l, ok := conj[4].(*Like); !ok || !l.Not {
+		t.Errorf("conj4 = %#v", conj[4])
+	}
+	if s, ok := conj[5].(*InSubquery); !ok || s.Not || s.Query == nil {
+		t.Errorf("conj5 = %#v", conj[5])
+	}
+	if u, ok := conj[6].(*Unary); !ok || u.Op != "NOT" {
+		t.Errorf("conj6 = %#v", conj[6])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel, err := ParseSelect("SELECT a.x FROM a WHERE a.x = 1 OR a.y = 2 AND a.z = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := sel.Where.(*Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %#v", sel.Where)
+	}
+	if and, ok := or.R.(*Binary); !ok || and.Op != OpAnd {
+		t.Errorf("AND must bind tighter than OR: %#v", or.R)
+	}
+	// Arithmetic precedence.
+	sel2, _ := ParseSelect("SELECT a.x FROM a WHERE a.x = 1 + 2 * 3")
+	cmp := sel2.Where.(*Binary)
+	add := cmp.R.(*Binary)
+	if add.Op != OpAdd {
+		t.Fatalf("rhs = %#v", cmp.R)
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != OpMul {
+		t.Error("* must bind tighter than +")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel, err := ParseSelect("SELECT a.x FROM a WHERE a.s = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := sel.Where.(*Binary).R.(*Literal)
+	if lit.Value.Text() != "it's" {
+		t.Errorf("escaped string = %q", lit.Value.Text())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sel, err := ParseSelect(`SELECT a.x -- trailing comment
+		FROM a /* block
+		comment */ WHERE a.x = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.From) != 1 {
+		t.Error("comments broke parsing")
+	}
+}
+
+func TestParseScriptAndTransaction(t *testing.T) {
+	stmts, err := ParseScript(`
+		BEGIN TRANSACTION;
+		SELECT a.x FROM a;
+		SELECT b.y FROM b;
+		COMMIT;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 4 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	if _, ok := stmts[0].(*Begin); !ok {
+		t.Errorf("stmt0 = %T", stmts[0])
+	}
+	if _, ok := stmts[3].(*Commit); !ok {
+		t.Errorf("stmt3 = %T", stmts[3])
+	}
+}
+
+func TestParseMatViewAndDrops(t *testing.T) {
+	st := parseOne(t, "CREATE MATERIALIZED VIEW mv AS SELECT a.x FROM a")
+	mv := st.(*CreateMaterializedView)
+	if mv.Name != "mv" || mv.Query == nil {
+		t.Fatalf("mv = %+v", mv)
+	}
+	if d := parseOne(t, "DROP MATERIALIZED VIEW IF EXISTS mv").(*DropMaterializedView); !d.IfExists {
+		t.Error("IF EXISTS lost")
+	}
+	if d := parseOne(t, "DROP TABLE t").(*DropTable); d.IfExists {
+		t.Error("IfExists wrongly set")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a.x FROM",
+		"SELECT a.x FROM t WHERE",
+		"CREATE TABLE t (x unknowntype)",
+		"INSERT INTO t VALUES 1",
+		"SELECT a.x FROM t WHERE a.x = 'unterminated",
+		"SELECT a.x FROM t WHERE a.x ~ 1",
+		"SELECT a.x FROM t LIMIT x",
+		"SELECT a.x FROM t WHERE a.x BETWEEN 1",
+		"SELECT a.x FROM t WHERE a.x NOT 5",
+		"SELECT a.x FROM t WHERE 1.2.3 = 1",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+// TestRenderRoundTrip: rendering a parsed statement and re-parsing it yields
+// an identical rendering (SQL() is a fixpoint after one round).
+func TestRenderRoundTrip(t *testing.T) {
+	sqls := []string{
+		"SELECT DISTINCT c.name AS cname, p.category FROM customers AS c, products AS p WHERE c.id = p.id AND p.price BETWEEN 1 AND 10 ORDER BY c.name DESC LIMIT 3",
+		"SELECT RESULTDB c.name FROM customers AS c WHERE c.state = 'NY' AND c.id IN (SELECT o.cid FROM orders AS o)",
+		"SELECT p.id FROM products AS p LEFT OUTER JOIN electronics AS e ON p.id = e.pid WHERE e.storage IS NOT NULL",
+		"SELECT COUNT(*) FROM t AS t WHERE t.x NOT LIKE 'a%' OR (t.y = 1 AND t.z <> 2)",
+		"INSERT INTO t (a, b) VALUES (1, 'it''s'), (2, NULL)",
+		"CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL, PRIMARY KEY (id), FOREIGN KEY (id) REFERENCES u (uid))",
+		"CREATE MATERIALIZED VIEW mv AS SELECT t.x FROM t AS t WHERE t.x > -5",
+		"DROP MATERIALIZED VIEW IF EXISTS mv",
+		"SELECT t.x FROM t AS t WHERE t.b = TRUE AND t.c = FALSE AND t.f = 1.25",
+	}
+	for _, sql := range sqls {
+		st1, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		r1 := st1.SQL()
+		st2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", r1, err)
+		}
+		if r2 := st2.SQL(); r1 != r2 {
+			t.Errorf("render not stable:\n1: %s\n2: %s", r1, r2)
+		}
+	}
+}
+
+func TestCloneExprIndependence(t *testing.T) {
+	sel, _ := ParseSelect("SELECT a.x FROM a WHERE a.x = 1 AND a.y IN (2, 3) AND a.z LIKE 'p%'")
+	clone := CloneExpr(sel.Where)
+	WalkExpr(clone, func(e Expr) {
+		if c, ok := e.(*ColumnRef); ok {
+			c.Table = "renamed"
+		}
+	})
+	// Original must be untouched.
+	found := false
+	WalkExpr(sel.Where, func(e Expr) {
+		if c, ok := e.(*ColumnRef); ok && c.Table == "renamed" {
+			found = true
+		}
+	})
+	if found {
+		t.Error("CloneExpr shares column refs with the original")
+	}
+}
+
+func TestConjunctsAndAndAll(t *testing.T) {
+	sel, _ := ParseSelect("SELECT a.x FROM a WHERE a.x = 1 AND a.y = 2 AND a.z = 3")
+	conj := Conjuncts(sel.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	rebuilt := AndAll(conj)
+	if rebuilt.SQL() != sel.Where.SQL() {
+		t.Errorf("AndAll(Conjuncts(e)) = %s, want %s", rebuilt.SQL(), sel.Where.SQL())
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+	if got := Conjuncts(nil); got != nil {
+		t.Error("Conjuncts(nil) should be nil")
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	sel, _ := ParseSelect("SELECT COUNT(*) FROM t")
+	if !HasAggregate(sel.Items[0].Expr) {
+		t.Error("COUNT(*) not detected")
+	}
+	sel2, _ := ParseSelect("SELECT t.x FROM t")
+	if HasAggregate(sel2.Items[0].Expr) {
+		t.Error("plain column detected as aggregate")
+	}
+}

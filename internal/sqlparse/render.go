@@ -1,0 +1,302 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"resultdb/internal/types"
+)
+
+// quoteString renders a string literal with ” escaping.
+func quoteString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// renderValue renders a literal value as SQL.
+func renderValue(v types.Value) string {
+	if v.Kind() == types.KindText {
+		return quoteString(v.Text())
+	}
+	if v.Kind() == types.KindBool {
+		if v.Bool() {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return v.String()
+}
+
+// SQL renders the column reference.
+func (c *ColumnRef) SQL() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// SQL renders the literal.
+func (l *Literal) SQL() string { return renderValue(l.Value) }
+
+// SQL renders the binary expression with defensive parentheses around
+// AND/OR operands.
+func (b *Binary) SQL() string {
+	l, r := b.L.SQL(), b.R.SQL()
+	switch b.Op {
+	case OpAnd, OpOr:
+		if lb, ok := b.L.(*Binary); ok && lb.Op != b.Op && (lb.Op == OpAnd || lb.Op == OpOr) {
+			l = "(" + l + ")"
+		}
+		if rb, ok := b.R.(*Binary); ok && rb.Op != b.Op && (rb.Op == OpAnd || rb.Op == OpOr) {
+			r = "(" + r + ")"
+		}
+	}
+	return l + " " + b.Op.String() + " " + r
+}
+
+// SQL renders the unary expression.
+func (u *Unary) SQL() string {
+	if u.Op == "NOT" {
+		return "NOT (" + u.E.SQL() + ")"
+	}
+	return u.Op + u.E.SQL()
+}
+
+// SQL renders the BETWEEN predicate.
+func (b *Between) SQL() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sBETWEEN %s AND %s", b.E.SQL(), not, b.Lo.SQL(), b.Hi.SQL())
+}
+
+// SQL renders the IN-list predicate.
+func (in *InList) SQL() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.SQL()
+	}
+	not := ""
+	if in.Not {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sIN (%s)", in.E.SQL(), not, strings.Join(parts, ", "))
+}
+
+// SQL renders the IN-subquery predicate.
+func (in *InSubquery) SQL() string {
+	not := ""
+	if in.Not {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sIN (%s)", in.E.SQL(), not, in.Query.SQL())
+}
+
+// SQL renders the LIKE predicate.
+func (l *Like) SQL() string {
+	not := ""
+	if l.Not {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sLIKE %s", l.E.SQL(), not, quoteString(l.Pattern))
+}
+
+// SQL renders the IS NULL predicate.
+func (i *IsNull) SQL() string {
+	if i.Not {
+		return i.E.SQL() + " IS NOT NULL"
+	}
+	return i.E.SQL() + " IS NULL"
+}
+
+// SQL renders the function call.
+func (f *FuncCall) SQL() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.SQL()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (t TableRef) sql() string {
+	if t.Alias != "" && t.Alias != t.Table {
+		return t.Table + " AS " + t.Alias
+	}
+	return t.Table
+}
+
+// SQL renders the SELECT statement.
+func (s *Select) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.ResultDB {
+		b.WriteString("RESULTDB ")
+		if s.Preserving {
+			b.WriteString("PRESERVING ")
+		}
+	}
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, item := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case item.Star && item.Table != "":
+			b.WriteString(item.Table + ".*")
+		case item.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(item.Expr.SQL())
+			if item.Alias != "" {
+				b.WriteString(" AS " + item.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, item := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(item.Ref.sql())
+		for _, j := range item.Joins {
+			switch j.Type {
+			case JoinLeftOuter:
+				b.WriteString(" LEFT OUTER JOIN ")
+			default:
+				b.WriteString(" JOIN ")
+			}
+			b.WriteString(j.Ref.sql())
+			b.WriteString(" ON ")
+			b.WriteString(j.On.SQL())
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.SQL())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.SQL())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *s.Limit)
+	}
+	return b.String()
+}
+
+// SQL renders CREATE TABLE.
+func (c *CreateTable) SQL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", c.Name)
+	inlinePK := map[string]bool{}
+	for i, col := range c.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", col.Name, col.Type.String())
+		if col.PrimaryKey {
+			b.WriteString(" PRIMARY KEY")
+			inlinePK[col.Name] = true
+		} else if col.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	var pkOut []string
+	for _, k := range c.PrimaryKey {
+		if !inlinePK[k] {
+			pkOut = append(pkOut, k)
+		}
+	}
+	if len(pkOut) > 0 {
+		fmt.Fprintf(&b, ", PRIMARY KEY (%s)", strings.Join(pkOut, ", "))
+	}
+	for _, fk := range c.ForeignKeys {
+		fmt.Fprintf(&b, ", FOREIGN KEY (%s) REFERENCES %s (%s)",
+			strings.Join(fk.Columns, ", "), fk.RefTable, strings.Join(fk.RefColumns, ", "))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// SQL renders DROP TABLE.
+func (d *DropTable) SQL() string {
+	if d.IfExists {
+		return "DROP TABLE IF EXISTS " + d.Name
+	}
+	return "DROP TABLE " + d.Name
+}
+
+// SQL renders CREATE MATERIALIZED VIEW.
+func (c *CreateMaterializedView) SQL() string {
+	return "CREATE MATERIALIZED VIEW " + c.Name + " AS " + c.Query.SQL()
+}
+
+// SQL renders DROP MATERIALIZED VIEW.
+func (d *DropMaterializedView) SQL() string {
+	if d.IfExists {
+		return "DROP MATERIALIZED VIEW IF EXISTS " + d.Name
+	}
+	return "DROP MATERIALIZED VIEW " + d.Name
+}
+
+// SQL renders INSERT.
+func (i *Insert) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO " + i.Table)
+	if len(i.Columns) > 0 {
+		b.WriteString(" (" + strings.Join(i.Columns, ", ") + ")")
+	}
+	b.WriteString(" VALUES ")
+	for r, row := range i.Rows {
+		if r > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for c, e := range row {
+			if c > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.SQL())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// SQL renders EXPLAIN.
+func (e *Explain) SQL() string { return "EXPLAIN " + e.Query.SQL() }
+
+// SQL renders BEGIN.
+func (*Begin) SQL() string { return "BEGIN TRANSACTION" }
+
+// SQL renders COMMIT.
+func (*Commit) SQL() string { return "COMMIT" }
+
+// SQL renders ROLLBACK.
+func (*Rollback) SQL() string { return "ROLLBACK" }

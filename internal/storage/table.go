@@ -1,0 +1,189 @@
+// Package storage provides in-memory, row-major physical tables plus hash
+// indexes. A Table pairs a catalog.TableDef with its rows and is the unit the
+// executor scans and the semi-join reducer filters.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"resultdb/internal/catalog"
+	"resultdb/internal/types"
+)
+
+// Table is an in-memory relation: a definition plus rows.
+//
+// Tables are not internally synchronized; internal/db serializes access with
+// its transaction lock.
+type Table struct {
+	Def  *catalog.TableDef
+	Rows []types.Row
+
+	indexes map[string]*HashIndex // keyed by canonical column list
+}
+
+// NewTable returns an empty table for def.
+func NewTable(def *catalog.TableDef) *Table {
+	return &Table{Def: def}
+}
+
+// Insert validates and appends a row. Values are coerced to column types;
+// arity and NOT NULL violations are errors.
+func (t *Table) Insert(row types.Row) error {
+	if len(row) != len(t.Def.Columns) {
+		return fmt.Errorf("storage: table %q expects %d values, got %d",
+			t.Def.Name, len(t.Def.Columns), len(row))
+	}
+	out := make(types.Row, len(row))
+	for i, v := range row {
+		col := t.Def.Columns[i]
+		if v.IsNull() && col.NotNull {
+			return fmt.Errorf("storage: NULL in NOT NULL column %s.%s", t.Def.Name, col.Name)
+		}
+		cv, err := types.Coerce(v, col.Type)
+		if err != nil {
+			return fmt.Errorf("storage: column %s.%s: %w", t.Def.Name, col.Name, err)
+		}
+		out[i] = cv
+	}
+	t.Rows = append(t.Rows, out)
+	t.indexes = nil // invalidate
+	return nil
+}
+
+// InsertAll appends rows, stopping at the first error.
+func (t *Table) InsertAll(rows []types.Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Clone returns a copy sharing row values but not the row slice, so the copy
+// can be filtered/reduced without disturbing the original.
+func (t *Table) Clone() *Table {
+	rows := make([]types.Row, len(t.Rows))
+	copy(rows, t.Rows)
+	return &Table{Def: t.Def, Rows: rows}
+}
+
+// WireSize returns the total result-set size in bytes under the paper's
+// Section 6.1 accounting.
+func (t *Table) WireSize() int {
+	n := 0
+	for _, r := range t.Rows {
+		n += r.WireSize()
+	}
+	return n
+}
+
+// SortRows orders rows lexicographically in place, for deterministic output.
+func (t *Table) SortRows() {
+	sort.Slice(t.Rows, func(i, j int) bool {
+		return types.CompareRows(t.Rows[i], t.Rows[j]) < 0
+	})
+}
+
+// Distinct removes duplicate rows in place, preserving first-seen order.
+func (t *Table) Distinct() {
+	seen := types.NewRowSet()
+	out := t.Rows[:0:0]
+	for _, r := range t.Rows {
+		if seen.Add(r) {
+			out = append(out, r)
+		}
+	}
+	t.Rows = out
+	t.indexes = nil
+}
+
+// HashIndex maps composite key hashes to row positions; used by hash joins
+// and semi-join reductions.
+type HashIndex struct {
+	cols    []int
+	buckets map[uint64][]int
+	table   *Table
+}
+
+// Index returns (building if necessary) a hash index on the given column
+// positions of t.
+func (t *Table) Index(cols []int) *HashIndex {
+	key := fmt.Sprint(cols)
+	if t.indexes == nil {
+		t.indexes = make(map[string]*HashIndex)
+	}
+	if idx, ok := t.indexes[key]; ok {
+		return idx
+	}
+	idx := &HashIndex{
+		cols:    append([]int(nil), cols...),
+		buckets: make(map[uint64][]int),
+		table:   t,
+	}
+	for pos, r := range t.Rows {
+		if rowHasNull(r, cols) {
+			continue // NULL keys never join
+		}
+		h := r.HashKey(cols)
+		idx.buckets[h] = append(idx.buckets[h], pos)
+	}
+	t.indexes[key] = idx
+	return idx
+}
+
+// Probe returns the positions of rows whose key columns equal probe's key
+// columns (probeCols in the probing row). NULL probes match nothing.
+func (idx *HashIndex) Probe(probe types.Row, probeCols []int) []int {
+	if rowHasNull(probe, probeCols) {
+		return nil
+	}
+	h := probe.HashKey(probeCols)
+	candidates := idx.buckets[h]
+	if len(candidates) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(candidates))
+	for _, pos := range candidates {
+		if keysEqual(idx.table.Rows[pos], idx.cols, probe, probeCols) {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// Contains reports whether any indexed row matches probe's key.
+func (idx *HashIndex) Contains(probe types.Row, probeCols []int) bool {
+	if rowHasNull(probe, probeCols) {
+		return false
+	}
+	h := probe.HashKey(probeCols)
+	for _, pos := range idx.buckets[h] {
+		if keysEqual(idx.table.Rows[pos], idx.cols, probe, probeCols) {
+			return true
+		}
+	}
+	return false
+}
+
+func rowHasNull(r types.Row, cols []int) bool {
+	for _, c := range cols {
+		if r[c].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func keysEqual(a types.Row, aCols []int, b types.Row, bCols []int) bool {
+	for i := range aCols {
+		if !types.Equal(a[aCols[i]], b[bCols[i]]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"resultdb/internal/catalog"
+	"resultdb/internal/types"
+)
+
+func newTable(t *testing.T) *Table {
+	t.Helper()
+	def := catalog.MustTableDef("t", []catalog.Column{
+		{Name: "id", Type: types.KindInt, NotNull: true},
+		{Name: "name", Type: types.KindText},
+		{Name: "score", Type: types.KindFloat},
+	})
+	def.PrimaryKey = []string{"id"}
+	return NewTable(def)
+}
+
+func TestInsertValidation(t *testing.T) {
+	tab := newTable(t)
+	ok := types.Row{types.NewInt(1), types.NewText("a"), types.NewFloat(1.5)}
+	if err := tab.Insert(ok); err != nil {
+		t.Fatal(err)
+	}
+	// Arity mismatch.
+	if err := tab.Insert(types.Row{types.NewInt(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	// NOT NULL violation.
+	if err := tab.Insert(types.Row{types.Null(), types.NewText("a"), types.Null()}); err == nil {
+		t.Error("NULL in NOT NULL column accepted")
+	}
+	// Coercion: int into float column.
+	if err := tab.Insert(types.Row{types.NewInt(2), types.Null(), types.NewInt(3)}); err != nil {
+		t.Errorf("int->float coercion failed: %v", err)
+	}
+	if got := tab.Rows[1][2]; got.Kind() != types.KindFloat || got.Float() != 3 {
+		t.Errorf("coerced value = %v", got)
+	}
+	// Type error: text into int column.
+	if err := tab.Insert(types.Row{types.NewText("x"), types.Null(), types.Null()}); err == nil {
+		t.Error("text into int column accepted")
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tab.Len())
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	tab := newTable(t)
+	if err := tab.InsertAll([]types.Row{
+		{types.NewInt(1), types.NewText("a"), types.NewFloat(0)},
+		{types.NewInt(2), types.NewText("b"), types.NewFloat(0)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := tab.Clone()
+	c.Rows = c.Rows[:1]
+	if tab.Len() != 2 {
+		t.Error("Clone's truncation affected the original")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tab := newTable(t)
+	rows := []types.Row{
+		{types.NewInt(1), types.NewText("a"), types.NewFloat(1)},
+		{types.NewInt(1), types.NewText("a"), types.NewFloat(1)},
+		{types.NewInt(2), types.NewText("a"), types.NewFloat(1)},
+	}
+	if err := tab.InsertAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	tab.Distinct()
+	if tab.Len() != 2 {
+		t.Errorf("Distinct left %d rows, want 2", tab.Len())
+	}
+	// First-seen order preserved.
+	if tab.Rows[0][0].Int() != 1 || tab.Rows[1][0].Int() != 2 {
+		t.Errorf("Distinct reordered rows: %v", tab.Rows)
+	}
+}
+
+func TestSortRowsAndWireSize(t *testing.T) {
+	tab := newTable(t)
+	if err := tab.InsertAll([]types.Row{
+		{types.NewInt(2), types.NewText("bb"), types.NewFloat(0)},
+		{types.NewInt(1), types.NewText("a"), types.NewFloat(0)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tab.SortRows()
+	if tab.Rows[0][0].Int() != 1 {
+		t.Error("SortRows did not order by first column")
+	}
+	// id(8) + name(2) + score(8) + id(8) + name(1) + score(8)
+	if got := tab.WireSize(); got != 35 {
+		t.Errorf("WireSize = %d, want 35", got)
+	}
+}
+
+func TestHashIndexProbe(t *testing.T) {
+	tab := newTable(t)
+	for i := 0; i < 100; i++ {
+		err := tab.Insert(types.Row{
+			types.NewInt(int64(i)),
+			types.NewText("n"),
+			types.NewFloat(float64(i % 10)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := tab.Index([]int{2}) // score has 10 distinct values
+	probe := types.Row{types.NewFloat(3)}
+	hits := idx.Probe(probe, []int{0})
+	if len(hits) != 10 {
+		t.Errorf("Probe hits = %d, want 10", len(hits))
+	}
+	for _, pos := range hits {
+		if tab.Rows[pos][2].Float() != 3 {
+			t.Errorf("false positive at %d", pos)
+		}
+	}
+	if !idx.Contains(probe, []int{0}) {
+		t.Error("Contains misses present key")
+	}
+	if idx.Contains(types.Row{types.NewFloat(42)}, []int{0}) {
+		t.Error("Contains finds absent key")
+	}
+	// NULL probes never match.
+	if idx.Contains(types.Row{types.Null()}, []int{0}) {
+		t.Error("NULL probe matched")
+	}
+}
+
+func TestIndexInvalidatedOnInsert(t *testing.T) {
+	tab := newTable(t)
+	if err := tab.Insert(types.Row{types.NewInt(1), types.Null(), types.Null()}); err != nil {
+		t.Fatal(err)
+	}
+	idx := tab.Index([]int{0})
+	if !idx.Contains(types.Row{types.NewInt(1)}, []int{0}) {
+		t.Fatal("index missing row")
+	}
+	if err := tab.Insert(types.Row{types.NewInt(2), types.Null(), types.Null()}); err != nil {
+		t.Fatal(err)
+	}
+	idx2 := tab.Index([]int{0})
+	if !idx2.Contains(types.Row{types.NewInt(2)}, []int{0}) {
+		t.Error("index not rebuilt after insert")
+	}
+}
+
+func TestIndexSkipsNullKeys(t *testing.T) {
+	tab := newTable(t)
+	if err := tab.InsertAll([]types.Row{
+		{types.NewInt(1), types.Null(), types.Null()},
+		{types.NewInt(2), types.NewText("x"), types.Null()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	idx := tab.Index([]int{1}) // name column: one NULL, one "x"
+	if got := idx.Probe(types.Row{types.NewText("x")}, []int{0}); len(got) != 1 {
+		t.Errorf("probe = %v", got)
+	}
+}
+
+// TestHashIndexRandomized cross-checks Probe against a linear scan.
+func TestHashIndexRandomized(t *testing.T) {
+	tab := newTable(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		err := tab.Insert(types.Row{
+			types.NewInt(int64(rng.Intn(50))),
+			types.NewText(string(rune('a' + rng.Intn(5)))),
+			types.NewFloat(float64(rng.Intn(5))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := tab.Index([]int{0, 1})
+	for trial := 0; trial < 200; trial++ {
+		probe := types.Row{
+			types.NewInt(int64(rng.Intn(60))),
+			types.NewText(string(rune('a' + rng.Intn(6)))),
+		}
+		got := idx.Probe(probe, []int{0, 1})
+		want := 0
+		for _, r := range tab.Rows {
+			if types.Equal(r[0], probe[0]) && types.Equal(r[1], probe[1]) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("probe %v: got %d hits, scan says %d", probe, len(got), want)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package types defines the value model shared by every layer of the
+// database: typed scalar values, NULL semantics, comparison, hashing, and the
+// result-set size accounting used by the paper's evaluation (Section 6.1).
+package types
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL marker. NULL compares unknown to everything
+	// and is only equal to NULL under grouping semantics, never under
+	// predicate semantics.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE-754 floating point number.
+	KindFloat
+	// KindText is a variable-length UTF-8 string.
+	KindText
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "DOUBLE"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL scalar. The zero Value is NULL.
+//
+// Value is a small tagged union kept as a value type (no pointers except the
+// string header) so rows can be stored contiguously without per-cell
+// allocation.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// NewInt returns an INTEGER value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewText returns a TEXT value.
+func NewText(v string) Value { return Value{kind: KindText, s: v} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the runtime type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It panics if v is not an INTEGER.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic("types: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the float payload, converting from INTEGER if necessary.
+// It panics if v is neither numeric kind.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic("types: Float() on " + v.kind.String())
+}
+
+// Text returns the string payload. It panics if v is not TEXT.
+func (v Value) Text() string {
+	if v.kind != KindText {
+		panic("types: Text() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics if v is not BOOLEAN.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic("types: Bool() on " + v.kind.String())
+	}
+	return v.b
+}
+
+// String renders v the way a SQL shell would print it.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindText:
+		return v.s
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// numeric reports whether v is INT or FLOAT.
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Compare orders two values. NULL sorts before everything; numeric kinds
+// compare by numeric value (so 1 == 1.0); distinct non-numeric kinds compare
+// by kind tag. The result is -1, 0, or +1.
+//
+// Compare defines the grouping/ordering total order; SQL three-valued
+// predicate comparison with NULL is handled in the expression evaluator.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.numeric() && b.numeric() {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindText:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		default:
+			return 0
+		}
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0
+		case !a.b:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether a and b are identical under grouping semantics
+// (NULL equals NULL, 1 equals 1.0).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a hash consistent with Equal: Equal values hash identically.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	v.HashInto(h)
+	return h.Sum64()
+}
+
+// hashWriter is the subset of hash.Hash64 we need; it lets HashInto feed a
+// shared hasher when hashing composite keys.
+type hashWriter interface {
+	Write(p []byte) (int, error)
+}
+
+// HashInto feeds v into h in a form consistent with Equal.
+func (v Value) HashInto(h hashWriter) {
+	var buf [9]byte
+	switch v.kind {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindInt, KindFloat:
+		// Numeric kinds must hash identically when Equal; hash the float
+		// bit pattern of the numeric value. Integers beyond 2^53 lose
+		// precision in Float(), so hash exact integers by value when the
+		// round-trip is lossless, else by float bits — both sides of any
+		// Equal pair take the same branch because Equal compares floats.
+		buf[0] = 1
+		f := v.Float()
+		bits := math.Float64bits(f)
+		putUint64(buf[1:], bits)
+		h.Write(buf[:9])
+	case KindText:
+		buf[0] = 2
+		h.Write(buf[:1])
+		h.Write([]byte(v.s))
+		buf[0] = 0xff // terminator so "a","b" != "ab",""
+		h.Write(buf[:1])
+	case KindBool:
+		buf[0] = 3
+		if v.b {
+			buf[1] = 1
+		}
+		h.Write(buf[:2])
+	}
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// WireSize returns the number of bytes v contributes to a result set under
+// the paper's sizing rule (Section 6.1): numeric attributes count their
+// datatype width, character attributes count the actual string length.
+func (v Value) WireSize() int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindInt:
+		return 8
+	case KindFloat:
+		return 8
+	case KindText:
+		return len(v.s)
+	case KindBool:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Coerce attempts to convert v to the requested kind, used when inserting
+// literals into typed columns. NULL coerces to anything.
+func Coerce(v Value, to Kind) (Value, error) {
+	if v.kind == to || v.kind == KindNull {
+		return v, nil
+	}
+	switch to {
+	case KindFloat:
+		if v.kind == KindInt {
+			return NewFloat(float64(v.i)), nil
+		}
+	case KindInt:
+		if v.kind == KindFloat && v.f == math.Trunc(v.f) {
+			return NewInt(int64(v.f)), nil
+		}
+	case KindText:
+		return NewText(v.String()), nil
+	}
+	return Value{}, fmt.Errorf("types: cannot coerce %s value %q to %s", v.kind, v.String(), to)
+}

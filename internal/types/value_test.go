@@ -1,0 +1,233 @@
+package types
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "INTEGER", KindFloat: "DOUBLE",
+		KindText: "TEXT", KindBool: "BOOLEAN",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if v := NewInt(42); v.Int() != 42 || v.Kind() != KindInt || v.IsNull() {
+		t.Errorf("NewInt: %v", v)
+	}
+	if v := NewFloat(2.5); v.Float() != 2.5 || v.Kind() != KindFloat {
+		t.Errorf("NewFloat: %v", v)
+	}
+	if v := NewText("x"); v.Text() != "x" || v.Kind() != KindText {
+		t.Errorf("NewText: %v", v)
+	}
+	if v := NewBool(true); !v.Bool() || v.Kind() != KindBool {
+		t.Errorf("NewBool: %v", v)
+	}
+	if !Null().IsNull() {
+		t.Error("Null() not null")
+	}
+	// Int coerces to Float transparently.
+	if NewInt(3).Float() != 3.0 {
+		t.Error("Int.Float() != 3.0")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewText("x").Int() },
+		func() { NewInt(1).Text() },
+		func() { NewText("x").Float() },
+		func() { NewInt(1).Bool() },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewText("hi"), "hi"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.0), 0}, // numeric kinds compare by value
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewText("a"), NewText("b"), -1},
+		{NewText("b"), NewText("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{Null(), NewInt(0), -1}, // NULL sorts first
+		{NewInt(0), Null(), 1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareMixedKinds(t *testing.T) {
+	// Non-numeric distinct kinds order by kind tag, consistently.
+	a, b := NewText("z"), NewBool(true)
+	if Compare(a, b) == 0 {
+		t.Error("text vs bool must not be equal")
+	}
+	if Compare(a, b) != -Compare(b, a) {
+		t.Error("mixed-kind compare not antisymmetric")
+	}
+}
+
+// randomValue draws a value across kinds, including NULL.
+func randomValue(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return NewInt(int64(rng.Intn(40) - 20))
+	case 2:
+		return NewFloat(float64(rng.Intn(40))/4 - 5)
+	case 3:
+		return NewText(string(rune('a' + rng.Intn(6))))
+	default:
+		return NewBool(rng.Intn(2) == 0)
+	}
+}
+
+// TestCompareIsTotalOrder property-checks antisymmetry and transitivity.
+func TestCompareIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a, b, c := randomValue(rng), randomValue(rng), randomValue(rng)
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("antisymmetry violated: %v vs %v", a, b)
+		}
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated: %v <= %v <= %v but a > c", a, b, c)
+		}
+	}
+}
+
+// TestHashConsistentWithEqual: Equal values must hash identically
+// (including int/float cross-kind equality).
+func TestHashConsistentWithEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		a, b := randomValue(rng), randomValue(rng)
+		if Equal(a, b) && a.Hash() != b.Hash() {
+			t.Fatalf("Equal values hash differently: %v vs %v", a, b)
+		}
+	}
+	if NewInt(3).Hash() != NewFloat(3).Hash() {
+		t.Error("3 and 3.0 must hash identically")
+	}
+}
+
+func TestHashTextNotAmbiguous(t *testing.T) {
+	// The terminator prevents concatenation ambiguity across row cells.
+	r1 := Row{NewText("ab"), NewText("c")}
+	r2 := Row{NewText("a"), NewText("bc")}
+	if r1.Hash() == r2.Hash() {
+		t.Error("rows with shifted string boundaries must hash differently")
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want int
+	}{
+		{Null(), 1},
+		{NewInt(1234567), 8},
+		{NewFloat(3.14), 8},
+		{NewText("hello"), 5},
+		{NewText(""), 0},
+		{NewBool(true), 1},
+	}
+	for _, c := range cases {
+		if got := c.v.WireSize(); got != c.want {
+			t.Errorf("%v.WireSize() = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, err := Coerce(NewInt(3), KindFloat); err != nil || v.Float() != 3 {
+		t.Errorf("int->float: %v, %v", v, err)
+	}
+	if v, err := Coerce(NewFloat(3), KindInt); err != nil || v.Int() != 3 {
+		t.Errorf("float(3.0)->int: %v, %v", v, err)
+	}
+	if _, err := Coerce(NewFloat(3.5), KindInt); err == nil {
+		t.Error("float(3.5)->int should fail")
+	}
+	if v, err := Coerce(NewInt(3), KindText); err != nil || v.Text() != "3" {
+		t.Errorf("int->text: %v, %v", v, err)
+	}
+	if v, err := Coerce(Null(), KindInt); err != nil || !v.IsNull() {
+		t.Errorf("null coerces to anything: %v, %v", v, err)
+	}
+	if _, err := Coerce(NewText("x"), KindBool); err == nil {
+		t.Error("text->bool should fail")
+	}
+}
+
+// TestCoerceQuick property-checks: successful coercion preserves Compare
+// equality with the original for numerics.
+func TestCoerceQuick(t *testing.T) {
+	f := func(n int32) bool {
+		v, err := Coerce(NewInt(int64(n)), KindFloat)
+		return err == nil && Compare(v, NewInt(int64(n))) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareLargeFloats(t *testing.T) {
+	if Compare(NewFloat(math.Inf(1)), NewFloat(math.MaxFloat64)) != 1 {
+		t.Error("+inf must exceed MaxFloat64")
+	}
+	if Compare(NewFloat(math.Inf(-1)), NewInt(math.MinInt64)) != -1 {
+		t.Error("-inf must be below MinInt64")
+	}
+}

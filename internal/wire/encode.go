@@ -1,0 +1,359 @@
+// Package wire serializes results for transport and models data-transfer
+// cost. It provides a compact binary encoding of single-table and
+// subdatabase results, an analytic transfer-time model matching the paper's
+// Section 6.4 setup (a fixed data transfer rate, default 100 Mbps), and a
+// minimal TCP server/client so the distributed-database use case (Section
+// 1.2, use case 3) runs over a real socket.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"resultdb/internal/db"
+	"resultdb/internal/engine"
+	"resultdb/internal/types"
+)
+
+// Format versioning so decoders can reject foreign payloads.
+const (
+	magic   = 0x52444221 // "RDB!"
+	version = 2
+)
+
+// payload flag bits.
+const flagHasPlan = 1 << 0
+
+// value kind tags on the wire.
+const (
+	tagNull byte = iota
+	tagInt
+	tagFloat
+	tagText
+	tagBool
+)
+
+// Encoder appends the wire form of results to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded size in bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+func (e *Encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *Encoder) varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+func (e *Encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *Encoder) value(v types.Value) {
+	switch v.Kind() {
+	case types.KindNull:
+		e.buf = append(e.buf, tagNull)
+	case types.KindInt:
+		e.buf = append(e.buf, tagInt)
+		e.varint(v.Int())
+	case types.KindFloat:
+		e.buf = append(e.buf, tagFloat)
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v.Float()))
+	case types.KindText:
+		e.buf = append(e.buf, tagText)
+		e.str(v.Text())
+	case types.KindBool:
+		e.buf = append(e.buf, tagBool)
+		if v.Bool() {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+	}
+}
+
+// Uvarint appends an unsigned varint (for external composers like
+// internal/snapshot).
+func (e *Encoder) Uvarint(v uint64) { e.uvarint(v) }
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) { e.str(s) }
+
+// Value appends one typed value.
+func (e *Encoder) Value(v types.Value) { e.value(v) }
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() (uint64, error) { return d.uvarint() }
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() (string, error) { return d.str() }
+
+// Value reads one typed value.
+func (d *Decoder) Value() (types.Value, error) { return d.value() }
+
+// Remaining reports the unread byte count.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// EncodeResult serializes a result: all of its sets plus, when present, the
+// shipped post-join plan (the paper's subdatabase-snapshot extension).
+func EncodeResult(r *db.Result) []byte {
+	e := NewEncoder()
+	e.uvarint(magic)
+	e.uvarint(version)
+	var flags uint64
+	if r.PostJoinPlan != nil {
+		flags |= flagHasPlan
+	}
+	e.uvarint(flags)
+	e.uvarint(uint64(len(r.Sets)))
+	for _, set := range r.Sets {
+		e.encodeSet(set)
+	}
+	if r.PostJoinPlan != nil {
+		e.encodePlan(r.PostJoinPlan)
+	}
+	return e.Bytes()
+}
+
+func (e *Encoder) encodePlan(p *db.PostJoinPlan) {
+	e.uvarint(uint64(len(p.Preds)))
+	for _, j := range p.Preds {
+		e.str(j.LeftRel)
+		e.str(j.LeftCol)
+		e.str(j.RightRel)
+		e.str(j.RightCol)
+	}
+	e.uvarint(uint64(len(p.Projection)))
+	for _, a := range p.Projection {
+		e.str(a.Rel)
+		e.str(a.Col)
+	}
+}
+
+func (e *Encoder) encodeSet(set *db.ResultSet) {
+	e.str(set.Name)
+	e.uvarint(uint64(len(set.Columns)))
+	for _, c := range set.Columns {
+		e.str(c)
+	}
+	e.uvarint(uint64(len(set.Rows)))
+	for _, row := range set.Rows {
+		if len(row) != len(set.Columns) {
+			panic(fmt.Sprintf("wire: row arity %d != %d columns", len(row), len(set.Columns)))
+		}
+		for _, v := range row {
+			e.value(v)
+		}
+	}
+}
+
+// Decoder reads the wire form back.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder wraps a payload.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+func (d *Decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated uvarint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *Decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *Decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		return "", fmt.Errorf("wire: truncated string of length %d at offset %d", n, d.off)
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *Decoder) value() (types.Value, error) {
+	if d.off >= len(d.buf) {
+		return types.Value{}, fmt.Errorf("wire: truncated value at offset %d", d.off)
+	}
+	tag := d.buf[d.off]
+	d.off++
+	switch tag {
+	case tagNull:
+		return types.Null(), nil
+	case tagInt:
+		v, err := d.varint()
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewInt(v), nil
+	case tagFloat:
+		if len(d.buf)-d.off < 8 {
+			return types.Value{}, fmt.Errorf("wire: truncated float at offset %d", d.off)
+		}
+		bits := binary.LittleEndian.Uint64(d.buf[d.off:])
+		d.off += 8
+		return types.NewFloat(math.Float64frombits(bits)), nil
+	case tagText:
+		s, err := d.str()
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewText(s), nil
+	case tagBool:
+		if d.off >= len(d.buf) {
+			return types.Value{}, fmt.Errorf("wire: truncated bool at offset %d", d.off)
+		}
+		b := d.buf[d.off] != 0
+		d.off++
+		return types.NewBool(b), nil
+	default:
+		return types.Value{}, fmt.Errorf("wire: unknown value tag %d at offset %d", tag, d.off-1)
+	}
+}
+
+// DecodeResult parses a payload produced by EncodeResult.
+func DecodeResult(buf []byte) (*db.Result, error) {
+	d := NewDecoder(buf)
+	m, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("wire: bad magic %#x", m)
+	}
+	v, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("wire: unsupported version %d", v)
+	}
+	flags, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nSets, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	res := &db.Result{}
+	for i := uint64(0); i < nSets; i++ {
+		set, err := d.decodeSet()
+		if err != nil {
+			return nil, err
+		}
+		res.Sets = append(res.Sets, set)
+	}
+	if flags&flagHasPlan != 0 {
+		plan, err := d.decodePlan()
+		if err != nil {
+			return nil, err
+		}
+		res.PostJoinPlan = plan
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return res, nil
+}
+
+func (d *Decoder) decodePlan() (*db.PostJoinPlan, error) {
+	plan := &db.PostJoinPlan{}
+	nPreds, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nPreds; i++ {
+		var j engine.JoinPred
+		if j.LeftRel, err = d.str(); err != nil {
+			return nil, err
+		}
+		if j.LeftCol, err = d.str(); err != nil {
+			return nil, err
+		}
+		if j.RightRel, err = d.str(); err != nil {
+			return nil, err
+		}
+		if j.RightCol, err = d.str(); err != nil {
+			return nil, err
+		}
+		plan.Preds = append(plan.Preds, j)
+	}
+	nProj, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nProj; i++ {
+		var a engine.Attr
+		if a.Rel, err = d.str(); err != nil {
+			return nil, err
+		}
+		if a.Col, err = d.str(); err != nil {
+			return nil, err
+		}
+		plan.Projection = append(plan.Projection, a)
+	}
+	return plan, nil
+}
+
+func (d *Decoder) decodeSet() (*db.ResultSet, error) {
+	name, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	nCols, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	set := &db.ResultSet{Name: name}
+	for i := uint64(0); i < nCols; i++ {
+		c, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		set.Columns = append(set.Columns, c)
+	}
+	nRows, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nRows; i++ {
+		row := make(types.Row, nCols)
+		for j := range row {
+			row[j], err = d.value()
+			if err != nil {
+				return nil, err
+			}
+		}
+		set.Rows = append(set.Rows, row)
+	}
+	return set, nil
+}

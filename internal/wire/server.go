@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"resultdb/internal/db"
+)
+
+// Frame types of the protocol. Every frame is a 1-byte type, a 4-byte
+// big-endian length, and the payload.
+const (
+	frameQuery byte = 1 // client -> server: SQL text
+	frameOK    byte = 2 // server -> client: encoded Result
+	frameErr   byte = 3 // server -> client: error text
+)
+
+const maxFrame = 1 << 30
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Server exposes a Database over TCP.
+type Server struct {
+	db *db.Database
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewServer wraps a database.
+func NewServer(d *db.Database) *Server { return &Server{db: d} }
+
+// Listen binds addr ("host:port"; ":0" picks a free port) and starts
+// serving in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		typ, payload, err := readFrame(r)
+		if err != nil {
+			return // client gone
+		}
+		if typ != frameQuery {
+			writeFrame(w, frameErr, []byte(fmt.Sprintf("unexpected frame type %d", typ)))
+			w.Flush()
+			return
+		}
+		res, err := s.db.Exec(string(payload))
+		if err != nil {
+			if werr := writeFrame(w, frameErr, []byte(err.Error())); werr != nil {
+				return
+			}
+		} else {
+			if werr := writeFrame(w, frameOK, EncodeResult(res)); werr != nil {
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client speaks the protocol to a Server.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	// BytesRead accumulates payload bytes received, for transfer accounting.
+	BytesRead int
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Exec sends one statement and decodes the response.
+func (c *Client) Exec(sql string) (*db.Result, error) {
+	if err := writeFrame(c.w, frameQuery, []byte(sql)); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, err := readFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	c.BytesRead += len(payload)
+	switch typ {
+	case frameOK:
+		return DecodeResult(payload)
+	case frameErr:
+		return nil, errors.New(string(payload))
+	default:
+		return nil, fmt.Errorf("wire: unexpected frame type %d", typ)
+	}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
