@@ -9,6 +9,8 @@
 package resultdb_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -254,6 +256,99 @@ func BenchmarkDecompose16b(b *testing.B) {
 		if _, err := core.Decompose(joined, spec.OutputRels()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- morsel-parallelism sweeps (serial vs parallel on identical inputs) ---
+
+var (
+	parEnvOnce sync.Once
+	parEnv     *bench.Env
+	parEnvErr  error
+)
+
+// jobEnvLarge loads the JOB workload at full scale so the morsel chunking
+// (parallel.Threshold rows per chunk) actually engages; the regular suite's
+// benchScale would mostly take the serial fast path.
+func jobEnvLarge(b *testing.B) *bench.Env {
+	b.Helper()
+	parEnvOnce.Do(func() {
+		parEnv, parEnvErr = bench.NewJOBEnv(1.0)
+		if parEnv != nil {
+			parEnv.Reps = 1
+		}
+	})
+	if parEnvErr != nil {
+		b.Fatal(parEnvErr)
+	}
+	return parEnv
+}
+
+// parDegrees is the sweep: serial, 2 workers, and all cores.
+func parDegrees() []int {
+	ds := []int{1, 2}
+	if g := runtime.GOMAXPROCS(0); g > 2 {
+		ds = append(ds, g)
+	}
+	return ds
+}
+
+// BenchmarkParallelJoin16b sweeps the degree of parallelism over the
+// single-table plan (hash joins + filters) of the heaviest acyclic query.
+// Results are bit-identical across sub-benchmarks; only the timing changes.
+func BenchmarkParallelJoin16b(b *testing.B) {
+	e := jobEnvLarge(b)
+	sel, err := e.Select("16b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := engine.AnalyzeSPJ(sel, e.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range parDegrees() {
+		b.Run(fmt.Sprintf("par=%d", p), func(b *testing.B) {
+			ex := &engine.Executor{Src: e.DB, Parallelism: p}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.RunSPJ(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelReduce16b sweeps the degree of parallelism over the
+// RESULTDB-SEMIJOIN reduction (semi-join probes, Bloom prefilter, Decompose).
+func BenchmarkParallelReduce16b(b *testing.B) {
+	e := jobEnvLarge(b)
+	sel, err := e.Select("16b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := engine.AnalyzeSPJ(sel, e.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range parDegrees() {
+		b.Run(fmt.Sprintf("par=%d", p), func(b *testing.B) {
+			ex := &engine.Executor{Src: e.DB, Parallelism: p}
+			opts := core.DefaultOptions()
+			opts.Parallelism = p
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rels, err := ex.BaseRelations(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := core.SemiJoinReduce(spec, rels, nil, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"resultdb/internal/bench"
+	"resultdb/internal/parallel"
 	"resultdb/internal/wire"
 	"resultdb/internal/workload/ssb"
 	"resultdb/internal/workload/star"
@@ -26,16 +27,17 @@ func main() {
 		reps    = flag.Int("reps", 5, "repetitions per measurement (median reported)")
 		mbps    = flag.Float64("mbps", 100, "modeled data transfer rate in Mbps (Table 3)")
 		queries = flag.String("queries", "", "comma-separated JOB query names (default: experiment's own set)")
+		par     = flag.Int("par", 0, "degree of intra-query parallelism (0 = auto via RESULTDB_PARALLELISM or GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *reps, *mbps, *queries); err != nil {
+	if err := run(*exp, *scale, *reps, *mbps, *queries, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, reps int, mbps float64, queryList string) error {
+func run(exp string, scale float64, reps int, mbps float64, queryList string, par int) error {
 	var names []string
 	if queryList != "" {
 		names = strings.Split(queryList, ",")
@@ -54,7 +56,9 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string) er
 			return err
 		}
 		env.Reps = reps
-		fmt.Printf("loaded JOB workload (scale %.2f) in %v\n\n", scale, time.Since(start).Round(time.Millisecond))
+		env.DB.SetParallelism(par)
+		fmt.Printf("loaded JOB workload (scale %.2f) in %v, parallelism %d\n\n",
+			scale, time.Since(start).Round(time.Millisecond), parallel.Degree(par))
 	}
 
 	want := func(name string) bool { return exp == name || exp == "all" }

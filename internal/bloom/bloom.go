@@ -14,16 +14,22 @@ package bloom
 
 import (
 	"math"
+	"sync/atomic"
 
 	"resultdb/internal/types"
 )
 
 // Filter is a standard partitioned Bloom filter over 64-bit hashes.
+//
+// Two build modes exist: the plain Add* methods are single-goroutine, the
+// Add*Atomic methods may be called concurrently from the morsel workers of
+// the parallel prefilter build (internal/core). Probing (Contains*) is
+// read-only and always safe concurrently once the build is complete.
 type Filter struct {
 	bits   []uint64
 	k      int
 	nBits  uint64
-	numAdd int
+	numAdd int64
 }
 
 // New sizes a filter for n expected elements at the given false-positive
@@ -69,6 +75,35 @@ func (f *Filter) AddHash(h uint64) {
 	f.numAdd++
 }
 
+// AddHashAtomic inserts a precomputed hash with atomic bit sets; safe to call
+// concurrently with other Add*Atomic calls (but not with plain Add* calls or
+// with probes). Used by the parallel prefilter build.
+func (f *Filter) AddHashAtomic(h uint64) {
+	for i := 0; i < f.k; i++ {
+		p := f.probe(h, i)
+		w := &f.bits[p/64]
+		mask := uint64(1) << (p % 64)
+		for {
+			old := atomic.LoadUint64(w)
+			if old&mask != 0 || atomic.CompareAndSwapUint64(w, old, old|mask) {
+				break
+			}
+		}
+	}
+	atomic.AddInt64(&f.numAdd, 1)
+}
+
+// AddKeyAtomic is AddKey with atomic bit sets (see AddHashAtomic). Keys
+// containing NULL are skipped.
+func (f *Filter) AddKeyAtomic(row types.Row, cols []int) {
+	for _, c := range cols {
+		if row[c].IsNull() {
+			return
+		}
+	}
+	f.AddHashAtomic(row.HashKey(cols))
+}
+
 // ContainsHash tests a precomputed hash. False positives possible, false
 // negatives not.
 func (f *Filter) ContainsHash(h uint64) bool {
@@ -103,7 +138,7 @@ func (f *Filter) ContainsKey(row types.Row, cols []int) bool {
 }
 
 // Len returns the number of inserted keys.
-func (f *Filter) Len() int { return f.numAdd }
+func (f *Filter) Len() int { return int(f.numAdd) }
 
 // Bits returns the filter size in bits (for size accounting in benches).
 func (f *Filter) Bits() int { return int(f.nBits) }

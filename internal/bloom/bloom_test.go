@@ -2,6 +2,7 @@ package bloom
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -105,5 +106,46 @@ func TestQuickNoFalseNegative(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestAtomicBuildMatchesSerial checks that a concurrent atomic build sets
+// exactly the same bits as the serial build (the OR of bit sets is
+// order-independent) and never loses an insertion under contention.
+func TestAtomicBuildMatchesSerial(t *testing.T) {
+	const n = 5000
+	serial := New(n, 0.01)
+	par := New(n, 0.01)
+	for i := 0; i < n; i++ {
+		serial.AddHash(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				par.AddHashAtomic(uint64(i) * 0x9e3779b97f4a7c15)
+			}
+		}()
+	}
+	wg.Wait()
+	if par.Len() != serial.Len() {
+		t.Fatalf("atomic build lost insertions: %d vs %d", par.Len(), serial.Len())
+	}
+	if len(par.bits) != len(serial.bits) {
+		t.Fatalf("size mismatch")
+	}
+	for i := range par.bits {
+		if par.bits[i] != serial.bits[i] {
+			t.Fatalf("bit word %d differs: %x vs %x", i, par.bits[i], serial.bits[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !par.ContainsHash(uint64(i) * 0x9e3779b97f4a7c15) {
+			t.Fatalf("false negative after atomic build: %d", i)
+		}
 	}
 }

@@ -31,10 +31,10 @@ const (
 // removes one node and at least one edge, and joining adjacent relations
 // never changes the overall join result (associativity).
 func FoldJoinGraph(g *Graph, strategy FoldStrategy, st *Stats) error {
-	return foldJoinGraphTrace(g, strategy, st, nil)
+	return foldJoinGraphTrace(g, strategy, st, nil, 0)
 }
 
-func foldJoinGraphTrace(g *Graph, strategy FoldStrategy, st *Stats, trace func(string)) error {
+func foldJoinGraphTrace(g *Graph, strategy FoldStrategy, st *Stats, trace func(string), par int) error {
 	for g.IsCyclic() {
 		x, y, err := chooseFoldPair(g, strategy)
 		if err != nil {
@@ -42,7 +42,7 @@ func foldJoinGraphTrace(g *Graph, strategy FoldStrategy, st *Stats, trace func(s
 		}
 		xn, yn := x.Name(), y.Name()
 		xr, yr := len(x.Rel.Rows), len(y.Rel.Rows)
-		if err := foldPair(g, x, y); err != nil {
+		if err := foldPair(g, x, y, par); err != nil {
 			return err
 		}
 		st.Folds++
@@ -116,8 +116,9 @@ func cardProduct(e *Edge) int {
 }
 
 // foldPair replaces x and y by the node x ⋈ y, re-pointing and merging all
-// affected edges (line 5 of Algorithm 3).
-func foldPair(g *Graph, x, y *Node) error {
+// affected edges (line 5 of Algorithm 3). The fold join runs at degree par
+// (0 = auto, 1 = serial) with deterministic ordered output.
+func foldPair(g *Graph, x, y *Node, par int) error {
 	// Join x and y on the conjunction of all predicates between them.
 	var between *Edge
 	for _, e := range g.Edges {
@@ -135,9 +136,9 @@ func foldPair(g *Graph, x, y *Node) error {
 	}
 	var joined *engine.Relation
 	if between.X == x {
-		joined = engine.HashJoin(x.Rel, y.Rel, xCols, yCols)
+		joined = engine.HashJoinDegree(x.Rel, y.Rel, xCols, yCols, par)
 	} else {
-		joined = engine.HashJoin(x.Rel, y.Rel, yCols, xCols)
+		joined = engine.HashJoinDegree(x.Rel, y.Rel, yCols, xCols, par)
 	}
 	z := &Node{
 		Aliases: append(append([]string(nil), x.Aliases...), y.Aliases...),

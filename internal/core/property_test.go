@@ -113,6 +113,9 @@ func TestTheorem44RandomQueries(t *testing.T) {
 		// Bloom prefiltering must stay exact despite false positives; a
 		// very sloppy rate stresses the exactness of the follow-up passes.
 		{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: true, BloomPrefilter: true, BloomFPRate: 0.3},
+		// Parallel execution must be indistinguishable from serial.
+		{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: true, AlphaReduce: true, Parallelism: 4},
+		{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: true, BloomPrefilter: true, BloomFPRate: 0.3, Parallelism: 4},
 	}
 	const trials = 300
 	checked := 0

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"resultdb/internal/engine"
+	"resultdb/internal/parallel"
 )
 
 // SemiJoinReduce is the paper's RESULTDB-SEMIJOIN algorithm (Algorithm 4):
@@ -43,7 +44,7 @@ func SemiJoinReduce(spec *engine.SPJSpec, rels map[string]*engine.Relation, outp
 		if opts.Trace != nil {
 			opts.Trace(fmt.Sprintf("join graph cyclic (%d nodes, %d edges); folding", len(g.Nodes), len(g.Edges)))
 		}
-		if err := foldJoinGraphTrace(g, opts.Fold, st, opts.Trace); err != nil {
+		if err := foldJoinGraphTrace(g, opts.Fold, st, opts.Trace, opts.Parallelism); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -60,7 +61,7 @@ func SemiJoinReduce(spec *engine.SPJSpec, rels map[string]*engine.Relation, outp
 				if !g.projected[strings.ToLower(alias)] {
 					continue
 				}
-				base := n.Rel.Project(n.Rel.ColumnsOf(alias)).Distinct()
+				base := n.Rel.ProjectPar(n.Rel.ColumnsOf(alias), opts.Parallelism).DistinctPar(opts.Parallelism)
 				out[strings.ToLower(alias)] = base
 			}
 			continue
@@ -89,13 +90,31 @@ func SemiJoinReduce(spec *engine.SPJSpec, rels map[string]*engine.Relation, outp
 // joined must carry alias-qualified columns for every alias in aliases
 // (engine.Executor.RunSPJ produces exactly that).
 func Decompose(joined *engine.Relation, aliases []string) (map[string]*engine.Relation, error) {
-	out := make(map[string]*engine.Relation, len(aliases))
-	for _, alias := range aliases {
+	return DecomposePar(joined, aliases, 0)
+}
+
+// DecomposePar is Decompose at an explicit degree of parallelism (0 = auto,
+// 1 = serial). The per-relation project+dedup steps are independent, so they
+// run concurrently across aliases; each step's own project/dedup work is also
+// chunked at the same degree. Results are identical at any degree.
+func DecomposePar(joined *engine.Relation, aliases []string, par int) (map[string]*engine.Relation, error) {
+	results := make([]*engine.Relation, len(aliases))
+	errs := make([]error, len(aliases))
+	parallel.Each(len(aliases), par, func(i int) {
+		alias := aliases[i]
 		cols := joined.ColumnsOf(alias)
 		if len(cols) == 0 {
-			return nil, fmt.Errorf("core: decompose: no columns for relation %q", alias)
+			errs[i] = fmt.Errorf("core: decompose: no columns for relation %q", alias)
+			return
 		}
-		out[strings.ToLower(alias)] = joined.Project(cols).Distinct()
+		results[i] = joined.ProjectPar(cols, par).DistinctPar(par)
+	})
+	out := make(map[string]*engine.Relation, len(aliases))
+	for i, alias := range aliases {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[strings.ToLower(alias)] = results[i]
 	}
 	return out, nil
 }

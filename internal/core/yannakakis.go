@@ -7,6 +7,8 @@ import (
 
 	"resultdb/internal/bloom"
 	"resultdb/internal/engine"
+	"resultdb/internal/parallel"
+	"resultdb/internal/types"
 )
 
 // ErrDisconnected reports a join graph whose relations are not all
@@ -88,21 +90,15 @@ func bfsEdges(g *Graph, root *Node) ([]bfsEdge, error) {
 }
 
 // semiJoinNodes reduces target by source along edge e (target ⋉ source),
-// returning whether target shrank.
-func semiJoinNodes(target, source *Node, e *Edge, st *Stats, trace func(string)) error {
-	var tCols, sCols []int
-	var err error
-	if e.X == target {
-		tCols, sCols, err = edgeCols(e)
-	} else {
-		sCols, tCols, err = edgeCols(e)
-		// edgeCols returns (xCols, yCols); swap puts target first.
-	}
+// returning whether target shrank. The probe over target's rows runs at
+// degree par (0 = auto, 1 = serial) with deterministic ordered merge.
+func semiJoinNodes(target, source *Node, e *Edge, st *Stats, trace func(string), par int) error {
+	tCols, sCols, err := edgeColsFor(target, e)
 	if err != nil {
 		return err
 	}
 	before := len(target.Rel.Rows)
-	target.Rel = engine.SemiJoin(target.Rel, tCols, source.Rel, sCols)
+	target.Rel = engine.SemiJoinDegree(target.Rel, tCols, source.Rel, sCols, par)
 	st.SemiJoins++
 	st.TuplesDropped += before - len(target.Rel.Rows)
 	if trace != nil {
@@ -114,28 +110,35 @@ func semiJoinNodes(target, source *Node, e *Edge, st *Stats, trace func(string))
 
 // bloomSemiJoinNodes reduces target by an approximate membership test on
 // source's join keys. It may retain false positives but never drops a
-// matching tuple.
-func bloomSemiJoinNodes(target, source *Node, e *Edge, fpRate float64, st *Stats) error {
-	var tCols, sCols []int
-	var err error
-	if e.X == target {
-		tCols, sCols, err = edgeCols(e)
-	} else {
-		sCols, tCols, err = edgeCols(e)
-	}
+// matching tuple. Both the filter build (atomic bit sets) and the probe
+// (chunked with ordered merge) run at degree par.
+func bloomSemiJoinNodes(target, source *Node, e *Edge, fpRate float64, st *Stats, par int) error {
+	tCols, sCols, err := edgeColsFor(target, e)
 	if err != nil {
 		return err
 	}
 	f := bloom.New(len(source.Rel.Rows), fpRate)
-	for _, row := range source.Rel.Rows {
-		f.AddKey(row, sCols)
-	}
-	out := &engine.Relation{Cols: target.Rel.Cols}
-	for _, row := range target.Rel.Rows {
-		if f.ContainsKey(row, tCols) {
-			out.Rows = append(out.Rows, row)
+	if parallel.Chunks(len(source.Rel.Rows), par) > 1 {
+		parallel.For(len(source.Rel.Rows), par, func(lo, hi int) {
+			for _, row := range source.Rel.Rows[lo:hi] {
+				f.AddKeyAtomic(row, sCols)
+			}
+		})
+	} else {
+		for _, row := range source.Rel.Rows {
+			f.AddKey(row, sCols)
 		}
 	}
+	out := &engine.Relation{Cols: target.Rel.Cols}
+	out.Rows = parallel.Map(len(target.Rel.Rows), par, func(lo, hi int) []types.Row {
+		kept := make([]types.Row, 0, hi-lo)
+		for _, row := range target.Rel.Rows[lo:hi] {
+			if f.ContainsKey(row, tCols) {
+				kept = append(kept, row)
+			}
+		}
+		return kept
+	})
 	st.BloomSemiJoins++
 	st.BloomDropped += len(target.Rel.Rows) - len(out.Rows)
 	target.Rel = out
@@ -155,6 +158,8 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 	if len(g.Nodes) <= 1 {
 		return nil
 	}
+	par := parallel.Degree(opts.Parallelism)
+	st.Parallelism = par
 	root := chooseRoot(g, opts.Root)
 	st.Root = root.Name()
 	if opts.Trace != nil {
@@ -175,12 +180,12 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 		}
 		for i := len(order) - 1; i >= 0; i-- {
 			be := order[i]
-			if err := bloomSemiJoinNodes(be.parent, be.child, be.edge, fp, st); err != nil {
+			if err := bloomSemiJoinNodes(be.parent, be.child, be.edge, fp, st, opts.Parallelism); err != nil {
 				return err
 			}
 		}
 		for _, be := range order {
-			if err := bloomSemiJoinNodes(be.child, be.parent, be.edge, fp, st); err != nil {
+			if err := bloomSemiJoinNodes(be.child, be.parent, be.edge, fp, st, opts.Parallelism); err != nil {
 				return err
 			}
 		}
@@ -189,7 +194,7 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 	// (1) Bottom-up: reduce parents by children, leaves towards root.
 	for i := len(order) - 1; i >= 0; i-- {
 		be := order[i]
-		if err := semiJoinNodes(be.parent, be.child, be.edge, st, opts.Trace); err != nil {
+		if err := semiJoinNodes(be.parent, be.child, be.edge, st, opts.Trace, opts.Parallelism); err != nil {
 			return err
 		}
 	}
@@ -224,7 +229,7 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 				continue
 			}
 		}
-		if err := semiJoinNodes(be.child, be.parent, be.edge, st, opts.Trace); err != nil {
+		if err := semiJoinNodes(be.child, be.parent, be.edge, st, opts.Trace, opts.Parallelism); err != nil {
 			return err
 		}
 		if opts.EarlyStop && g.Projected(be.child) {
@@ -271,6 +276,12 @@ type Options struct {
 	// BloomFPRate is the target false-positive rate of the prefilter
 	// (default 0.01 when zero).
 	BloomFPRate float64
+	// Parallelism is the degree of intra-query parallelism used by the
+	// semi-join probes, the Bloom prefilter build/probe, folding joins, and
+	// Decompose: 0 = auto (the RESULTDB_PARALLELISM environment variable,
+	// else GOMAXPROCS), 1 = serial, n > 1 = n workers. Results are
+	// bit-identical at any degree (ordered morsel merge).
+	Parallelism int
 	// AlphaReduce drops join-graph edges whose predicates are implied by
 	// transitivity before checking for cycles, so α-acyclic-but-JG-cyclic
 	// queries (Section 4.1's gap between the two notions) skip folding
@@ -302,6 +313,9 @@ type Stats struct {
 	BloomDropped   int
 	// ImpliedEdgesDropped counts join-graph edges removed by α-reduction.
 	ImpliedEdgesDropped int
+	// Parallelism records the effective degree of parallelism used
+	// (after resolving 0 = auto against the environment and GOMAXPROCS).
+	Parallelism int
 }
 
 // String summarizes the stats on one line.
@@ -309,6 +323,9 @@ func (s *Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "root=%s semijoins=%d skipped=%d dropped=%d folds=%d",
 		s.Root, s.SemiJoins, s.SkippedSemiJoins, s.TuplesDropped, s.Folds)
+	if s.Parallelism > 1 {
+		fmt.Fprintf(&b, " par=%d", s.Parallelism)
+	}
 	if s.Cyclic {
 		b.WriteString(" cyclic")
 	}

@@ -139,8 +139,14 @@ func (r *Result) WireSize() int {
 
 // executor builds an engine executor honoring the database's settings.
 func (d *Database) executor() *engine.Executor {
-	return &engine.Executor{Src: d, DPJoinOrder: d.DPJoinOrder}
+	return &engine.Executor{Src: d, DPJoinOrder: d.DPJoinOrder, Parallelism: d.CoreOptions.Parallelism}
 }
+
+// SetParallelism sets the degree of intra-query parallelism used by joins,
+// filters, semi-join reduction, and Decompose: 0 = auto (the
+// RESULTDB_PARALLELISM environment variable, else GOMAXPROCS), 1 = serial,
+// n > 1 = n workers. Results are identical at any degree.
+func (d *Database) SetParallelism(p int) { d.CoreOptions.Parallelism = p }
 
 // Table implements engine.Source.
 func (d *Database) Table(name string) (*storage.Table, error) {

@@ -81,7 +81,7 @@ func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode) (*Result
 			attrs = dedupAttrs(spec.ProjectionOf(alias))
 		}
 		rel := reduced[strings.ToLower(alias)]
-		set, err := projectSet(alias, rel, attrs)
+		set, err := projectSet(alias, rel, attrs, d.CoreOptions.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +131,7 @@ func (d *Database) reduceSpec(spec *engine.SPJSpec, outputs []string) (map[strin
 	if err != nil {
 		return nil, nil, err
 	}
-	reduced, err := core.Decompose(joined, outputs)
+	reduced, err := core.DecomposePar(joined, outputs, d.CoreOptions.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -201,8 +201,9 @@ func dedupAttrs(attrs []string) []string {
 }
 
 // projectSet projects a reduced full-width relation onto the chosen
-// attributes and removes duplicates (set semantics of Definition 2.2).
-func projectSet(alias string, rel *engine.Relation, attrs []string) (*ResultSet, error) {
+// attributes and removes duplicates (set semantics of Definition 2.2). Both
+// steps run at degree par (0 = auto, 1 = serial) with deterministic output.
+func projectSet(alias string, rel *engine.Relation, attrs []string, par int) (*ResultSet, error) {
 	cols := make([]int, len(attrs))
 	for i, a := range attrs {
 		idx, err := rel.ColIndex(alias, a)
@@ -211,7 +212,7 @@ func projectSet(alias string, rel *engine.Relation, attrs []string) (*ResultSet,
 		}
 		cols[i] = idx
 	}
-	projected := rel.Project(cols).Distinct()
+	projected := rel.ProjectPar(cols, par).DistinctPar(par)
 	return relToSet(alias, projected, attrs), nil
 }
 

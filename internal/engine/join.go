@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"resultdb/internal/parallel"
 	"resultdb/internal/sqlparse"
 	"resultdb/internal/types"
 )
@@ -10,32 +11,51 @@ import (
 // hashJoinInner joins l and r on the equi columns lCols (positions in l) and
 // rCols (positions in r). With empty column lists it degrades to a Cartesian
 // product. Output schema is l's columns followed by r's.
-func hashJoinInner(l, r *Relation, lCols, rCols []int) *Relation {
+//
+// Execution is morsel-parallel at degree par (0 = auto, 1 = serial): the
+// build side is partitioned across workers, the probe side is split into
+// contiguous row chunks with per-chunk output buffers merged in input order,
+// so the result is bit-identical to serial execution at any degree.
+func hashJoinInner(l, r *Relation, lCols, rCols []int, par int) *Relation {
 	out := &Relation{Cols: concatCols(l.Cols, r.Cols)}
 	if len(lCols) == 0 {
-		for _, lr := range l.Rows {
-			for _, rr := range r.Rows {
-				out.Rows = append(out.Rows, concatRows(lr, rr))
+		out.Rows = parallel.Map(len(l.Rows), par, func(lo, hi int) []types.Row {
+			rows := make([]types.Row, 0, (hi-lo)*len(r.Rows))
+			for _, lr := range l.Rows[lo:hi] {
+				for _, rr := range r.Rows {
+					rows = append(rows, concatRows(lr, rr))
+				}
 			}
-		}
+			return rows
+		})
 		return out
 	}
-	// Build on the smaller input.
+	// Build on the smaller input, probe with the larger in parallel chunks.
 	if len(r.Rows) <= len(l.Rows) {
-		idx := buildHash(r, rCols)
-		for _, lr := range l.Rows {
-			for _, pos := range probeHash(idx, r, rCols, lr, lCols) {
-				out.Rows = append(out.Rows, concatRows(lr, r.Rows[pos]))
+		idx := buildHash(r, rCols, par)
+		out.Rows = parallel.Map(len(l.Rows), par, func(lo, hi int) []types.Row {
+			rows := make([]types.Row, 0, hi-lo)
+			var lr types.Row
+			emit := func(pos int) { rows = append(rows, concatRows(lr, r.Rows[pos])) }
+			for _, row := range l.Rows[lo:hi] {
+				lr = row
+				probeHashEach(idx, r, rCols, lr, lCols, emit)
 			}
-		}
+			return rows
+		})
 		return out
 	}
-	idx := buildHash(l, lCols)
-	for _, rr := range r.Rows {
-		for _, pos := range probeHash(idx, l, lCols, rr, rCols) {
-			out.Rows = append(out.Rows, concatRows(l.Rows[pos], rr))
+	idx := buildHash(l, lCols, par)
+	out.Rows = parallel.Map(len(r.Rows), par, func(lo, hi int) []types.Row {
+		rows := make([]types.Row, 0, hi-lo)
+		var rr types.Row
+		emit := func(pos int) { rows = append(rows, concatRows(l.Rows[pos], rr)) }
+		for _, row := range r.Rows[lo:hi] {
+			rr = row
+			probeHashEach(idx, l, lCols, rr, rCols, emit)
 		}
-	}
+		return rows
+	})
 	return out
 }
 
@@ -43,7 +63,11 @@ func hashJoinInner(l, r *Relation, lCols, rCols []int) *Relation {
 // Equi conjuncts of the ON tree are executed as a hash join; remaining
 // conjuncts are evaluated per candidate pair. For a left outer join,
 // unmatched left rows are padded with NULLs.
-func joinOn(l, r *Relation, on sqlparse.Expr, outer bool, sub SubqueryRunner) (*Relation, error) {
+//
+// The probe over l's rows runs in parallel chunks (bound expressions are
+// pure after binding, so concurrent evaluation is safe); per-chunk buffers
+// keep the output order identical to the serial loop.
+func joinOn(l, r *Relation, on sqlparse.Expr, outer bool, sub SubqueryRunner, par int) (*Relation, error) {
 	combined := &Relation{Cols: concatCols(l.Cols, r.Cols)}
 
 	// Split ON into hashable equi pairs and a residual.
@@ -69,7 +93,7 @@ func joinOn(l, r *Relation, on sqlparse.Expr, outer bool, sub SubqueryRunner) (*
 	}
 
 	nullPad := make(types.Row, len(r.Cols))
-	emit := func(lr types.Row, matched *bool, rr types.Row) error {
+	emit := func(dst *[]types.Row, lr types.Row, matched *bool, rr types.Row) error {
 		row := concatRows(lr, rr)
 		if check != nil {
 			v, err := check(row)
@@ -81,37 +105,57 @@ func joinOn(l, r *Relation, on sqlparse.Expr, outer bool, sub SubqueryRunner) (*
 			}
 		}
 		*matched = true
-		combined.Rows = append(combined.Rows, row)
+		*dst = append(*dst, row)
 		return nil
 	}
 
 	if len(lCols) > 0 {
-		idx := buildHash(r, rCols)
-		for _, lr := range l.Rows {
+		idx := buildHash(r, rCols, par)
+		rows, err := parallel.MapErr(len(l.Rows), par, func(lo, hi int) ([]types.Row, error) {
+			chunk := make([]types.Row, 0, hi-lo)
+			for _, lr := range l.Rows[lo:hi] {
+				matched := false
+				var probeErr error
+				probeHashEach(idx, r, rCols, lr, lCols, func(pos int) {
+					if probeErr == nil {
+						probeErr = emit(&chunk, lr, &matched, r.Rows[pos])
+					}
+				})
+				if probeErr != nil {
+					return nil, probeErr
+				}
+				if outer && !matched {
+					chunk = append(chunk, concatRows(lr, nullPad))
+				}
+			}
+			return chunk, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		combined.Rows = rows
+		return combined, nil
+	}
+	// No equi conjunct: nested loop, chunked over the left input.
+	rows, err := parallel.MapErr(len(l.Rows), par, func(lo, hi int) ([]types.Row, error) {
+		chunk := make([]types.Row, 0, hi-lo)
+		for _, lr := range l.Rows[lo:hi] {
 			matched := false
-			for _, pos := range probeHash(idx, r, rCols, lr, lCols) {
-				if err := emit(lr, &matched, r.Rows[pos]); err != nil {
+			for _, rr := range r.Rows {
+				if err := emit(&chunk, lr, &matched, rr); err != nil {
 					return nil, err
 				}
 			}
 			if outer && !matched {
-				combined.Rows = append(combined.Rows, concatRows(lr, nullPad))
+				chunk = append(chunk, concatRows(lr, nullPad))
 			}
 		}
-		return combined, nil
+		return chunk, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	// No equi conjunct: nested loop.
-	for _, lr := range l.Rows {
-		matched := false
-		for _, rr := range r.Rows {
-			if err := emit(lr, &matched, rr); err != nil {
-				return nil, err
-			}
-		}
-		if outer && !matched {
-			combined.Rows = append(combined.Rows, concatRows(lr, nullPad))
-		}
-	}
+	combined.Rows = rows
 	return combined, nil
 }
 
@@ -142,62 +186,138 @@ func equiPair(e sqlparse.Expr, l, r *Relation) (li, ri int, ok bool) {
 
 // HashJoin is the exported inner hash join used by internal/core when
 // folding join-graph nodes (Algorithm 3). Empty key lists produce a
-// Cartesian product.
+// Cartesian product. The degree of parallelism is resolved from the
+// environment (see HashJoinDegree for an explicit degree).
 func HashJoin(l, r *Relation, lCols, rCols []int) *Relation {
-	return hashJoinInner(l, r, lCols, rCols)
+	return hashJoinInner(l, r, lCols, rCols, 0)
+}
+
+// HashJoinDegree is HashJoin at an explicit degree of parallelism
+// (0 = auto, 1 = serial).
+func HashJoinDegree(l, r *Relation, lCols, rCols []int, par int) *Relation {
+	return hashJoinInner(l, r, lCols, rCols, par)
 }
 
 // SemiJoin filters l to the rows whose key appears in r (l ⋉ r); the
 // primitive of the paper's reduction phase (Section 4.1).
 func SemiJoin(l *Relation, lCols []int, r *Relation, rCols []int) *Relation {
-	return semiJoinRows(l, lCols, r, rCols)
+	return SemiJoinDegree(l, lCols, r, rCols, 0)
 }
 
-// semiJoinRows filters l to rows whose key appears in r (l ⋉ r).
-func semiJoinRows(l *Relation, lCols []int, r *Relation, rCols []int) *Relation {
+// SemiJoinDegree is SemiJoin with an explicit degree of parallelism: the key
+// set is built serially (the build side is typically the smaller input), the
+// probe over l's rows runs in parallel chunks merged in input order.
+func SemiJoinDegree(l *Relation, lCols []int, r *Relation, rCols []int, par int) *Relation {
 	keys := types.NewKeySet()
 	for _, rr := range r.Rows {
 		keys.AddKey(rr, rCols)
 	}
 	out := &Relation{Cols: l.Cols}
-	for _, lr := range l.Rows {
-		if keys.ContainsKey(lr, lCols) {
-			out.Rows = append(out.Rows, lr)
+	out.Rows = parallel.Map(len(l.Rows), par, func(lo, hi int) []types.Row {
+		rows := make([]types.Row, 0, hi-lo)
+		for _, lr := range l.Rows[lo:hi] {
+			if keys.ContainsKey(lr, lCols) {
+				rows = append(rows, lr)
+			}
 		}
-	}
+		return rows
+	})
 	return out
 }
 
-type hashTable map[uint64][]int
-
-func buildHash(r *Relation, cols []int) hashTable {
-	idx := make(hashTable, len(r.Rows))
-	for pos, row := range r.Rows {
-		if hasNull(row, cols) {
-			continue
-		}
-		h := row.HashKey(cols)
-		idx[h] = append(idx[h], pos)
-	}
-	return idx
+// hashTable is a join index partitioned by hash so it can be built in
+// parallel: partition p owns the keys with hash % P == p. The serial build
+// uses a single partition. Bucket position lists are always in ascending row
+// order — the invariant that keeps parallel probes bit-identical to serial.
+type hashTable struct {
+	parts []map[uint64][]int
 }
 
-func probeHash(idx hashTable, built *Relation, builtCols []int, probe types.Row, probeCols []int) []int {
+// lookup returns the candidate build positions for hash h.
+func (t *hashTable) lookup(h uint64) []int {
+	if len(t.parts) == 1 {
+		return t.parts[0][h]
+	}
+	return t.parts[h%uint64(len(t.parts))][h]
+}
+
+// buildHash indexes r's rows by their key hash at degree par. Rows with NULL
+// keys are skipped (they can never match under SQL join semantics).
+//
+// The parallel build is two-phase morsel style: (1) each worker scans a
+// contiguous row chunk, hashing keys and scattering (hash, pos) entries into
+// chunk-local partition lists; (2) each worker owns one partition and folds
+// the chunk-local lists into its hash map, visiting chunks in input order so
+// bucket position lists stay ascending.
+func buildHash(r *Relation, cols []int, par int) *hashTable {
+	n := len(r.Rows)
+	nc := parallel.Chunks(n, par)
+	if nc <= 1 {
+		m := make(map[uint64][]int, n)
+		for pos, row := range r.Rows {
+			if hasNull(row, cols) {
+				continue
+			}
+			h := row.HashKey(cols)
+			m[h] = append(m[h], pos)
+		}
+		return &hashTable{parts: []map[uint64][]int{m}}
+	}
+
+	type entry struct {
+		h   uint64
+		pos int
+	}
+	P := nc // one partition per chunk keeps both phases balanced
+	locals := make([][][]entry, nc)
+	parallel.ForChunks(n, par, func(chunk, lo, hi int) {
+		local := make([][]entry, P)
+		est := (hi-lo)/P + 1
+		for p := range local {
+			local[p] = make([]entry, 0, est)
+		}
+		for pos := lo; pos < hi; pos++ {
+			row := r.Rows[pos]
+			if hasNull(row, cols) {
+				continue
+			}
+			h := row.HashKey(cols)
+			p := int(h % uint64(P))
+			local[p] = append(local[p], entry{h: h, pos: pos})
+		}
+		locals[chunk] = local
+	})
+
+	parts := make([]map[uint64][]int, P)
+	parallel.Each(P, par, func(p int) {
+		total := 0
+		for c := 0; c < nc; c++ {
+			total += len(locals[c][p])
+		}
+		m := make(map[uint64][]int, total)
+		for c := 0; c < nc; c++ { // chunk order => ascending positions
+			for _, e := range locals[c][p] {
+				m[e.h] = append(m[e.h], e.pos)
+			}
+		}
+		parts[p] = m
+	})
+	return &hashTable{parts: parts}
+}
+
+// probeHashEach invokes yield for every build-side position whose key matches
+// probe's, in ascending position order. The callback form avoids the per-probe
+// slice allocation of a return-value API on the hot loop.
+func probeHashEach(idx *hashTable, built *Relation, builtCols []int, probe types.Row, probeCols []int, yield func(pos int)) {
 	if hasNull(probe, probeCols) {
-		return nil
+		return
 	}
 	h := probe.HashKey(probeCols)
-	candidates := idx[h]
-	if len(candidates) == 0 {
-		return nil
-	}
-	var out []int
-	for _, pos := range candidates {
+	for _, pos := range idx.lookup(h) {
 		if keysMatch(built.Rows[pos], builtCols, probe, probeCols) {
-			out = append(out, pos)
+			yield(pos)
 		}
 	}
-	return out
 }
 
 func hasNull(r types.Row, cols []int) bool {

@@ -24,13 +24,21 @@ const maxDPRelations = 14
 // intermediate cardinalities; the greedy order (JoinAll) remains the
 // default and the fallback for queries beyond maxDPRelations.
 func JoinAllDP(preds []JoinPred, rels map[string]*Relation) (*Relation, error) {
+	return JoinAllDPDegree(preds, rels, 0)
+}
+
+// JoinAllDPDegree is JoinAllDP executing the chosen plan's hash joins at an
+// explicit degree of parallelism (0 = auto, 1 = serial). Planning itself
+// stays serial; only plan execution fans out.
+func JoinAllDPDegree(preds []JoinPred, rels map[string]*Relation, par int) (*Relation, error) {
 	if len(rels) < 2 || len(rels) > maxDPRelations {
-		return JoinAll(preds, rels)
+		return JoinAllDegree(preds, rels, par)
 	}
 	opt, err := newOptimizer(preds, rels)
 	if err != nil {
 		return nil, err
 	}
+	opt.par = par
 	root, err := opt.plan()
 	if err != nil {
 		return nil, err
@@ -40,6 +48,8 @@ func JoinAllDP(preds []JoinPred, rels map[string]*Relation) (*Relation, error) {
 
 // optimizer carries the DP state.
 type optimizer struct {
+	// par is the degree of parallelism for executing the chosen plan.
+	par     int
 	aliases []string // index -> alias (lower-cased), deterministic order
 	base    []*Relation
 	preds   []JoinPred
@@ -270,7 +280,7 @@ func (o *optimizer) execute(n *planNode) (*Relation, error) {
 		lCols = append(lCols, li)
 		rCols = append(rCols, ri)
 	}
-	return hashJoinInner(l, r, lCols, rCols), nil
+	return hashJoinInner(l, r, lCols, rCols, o.par), nil
 }
 
 // PlanString renders the chosen DP plan for diagnostics; used by tests.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"resultdb/internal/parallel"
 	"resultdb/internal/types"
 )
 
@@ -70,26 +71,111 @@ func (r *Relation) ColumnsOf(rel string) []int {
 
 // Project returns a new relation restricted to the given column positions.
 func (r *Relation) Project(cols []int) *Relation {
+	return r.ProjectPar(cols, 0)
+}
+
+// ProjectPar is Project at an explicit degree of parallelism (0 = auto,
+// 1 = serial). Output rows are written to fixed positions, so the result is
+// identical at any degree.
+func (r *Relation) ProjectPar(cols []int, par int) *Relation {
 	out := &Relation{Cols: make([]ColRef, len(cols))}
 	for i, c := range cols {
 		out.Cols[i] = r.Cols[c]
 	}
 	out.Rows = make([]types.Row, len(r.Rows))
-	for i, row := range r.Rows {
-		out.Rows[i] = row.Project(cols)
-	}
+	parallel.For(len(r.Rows), par, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Rows[i] = r.Rows[i].Project(cols)
+		}
+	})
 	return out
 }
 
 // Distinct returns a new relation with duplicate rows removed (first
 // occurrence wins).
 func (r *Relation) Distinct() *Relation {
-	seen := types.NewRowSet()
+	return r.DistinctPar(0)
+}
+
+// DistinctPar is Distinct at an explicit degree of parallelism (0 = auto,
+// 1 = serial). The parallel path hash-partitions rows so equal rows land in
+// the same partition, deduplicates each partition independently (keeping the
+// first occurrence by original row index), and emits the survivors in
+// ascending index order — exactly the rows, and exactly the order, the
+// serial first-occurrence-wins loop produces.
+func (r *Relation) DistinctPar(par int) *Relation {
+	n := len(r.Rows)
+	nc := parallel.Chunks(n, par)
 	out := &Relation{Cols: r.Cols}
-	for _, row := range r.Rows {
-		if seen.Add(row) {
-			out.Rows = append(out.Rows, row)
+	if nc <= 1 {
+		seen := types.NewRowSet()
+		for _, row := range r.Rows {
+			if seen.Add(row) {
+				out.Rows = append(out.Rows, row)
+			}
 		}
+		return out
+	}
+
+	// Phase 1: hash every row (disjoint writes).
+	hs := make([]uint64, n)
+	parallel.For(n, par, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hs[i] = r.Rows[i].Hash()
+		}
+	})
+
+	// Phase 2: chunk-local partition lists; duplicates share a hash, hence a
+	// partition, and indices stay ascending within each (chunk, partition).
+	P := nc
+	locals := make([][][]int, nc)
+	parallel.ForChunks(n, par, func(chunk, lo, hi int) {
+		local := make([][]int, P)
+		for i := lo; i < hi; i++ {
+			p := int(hs[i] % uint64(P))
+			local[p] = append(local[p], i)
+		}
+		locals[chunk] = local
+	})
+
+	// Phase 3: per-partition dedup, visiting chunks in input order so the
+	// first occurrence by original index survives.
+	survivors := make([][]int, P)
+	parallel.Each(P, par, func(p int) {
+		seen := make(map[uint64][]int)
+		var keep []int
+		for c := 0; c < nc; c++ {
+			for _, i := range locals[c][p] {
+				h := hs[i]
+				dup := false
+				for _, j := range seen[h] {
+					if r.Rows[j].Equal(r.Rows[i]) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					seen[h] = append(seen[h], i)
+					keep = append(keep, i)
+				}
+			}
+		}
+		survivors[p] = keep
+	})
+
+	// Phase 4: merge survivors back into global input order.
+	total := 0
+	for _, s := range survivors {
+		total += len(s)
+	}
+	order := make([]int, 0, total)
+	for _, s := range survivors {
+		order = append(order, s...)
+	}
+	sort.Ints(order)
+	out.Rows = make([]types.Row, len(order))
+	for i, idx := range order {
+		out.Rows[i] = r.Rows[idx]
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"resultdb/internal/parallel"
 	"resultdb/internal/sqlparse"
 	"resultdb/internal/storage"
 	"resultdb/internal/types"
@@ -15,6 +16,11 @@ type Executor struct {
 	// DPJoinOrder switches the SPJ join ordering from the greedy heuristic
 	// to the DPsize optimal search (see JoinAllDP). Greedy is the default.
 	DPJoinOrder bool
+	// Parallelism is the degree of intra-query parallelism for joins,
+	// filters, and semi-joins: 0 resolves via RESULTDB_PARALLELISM or
+	// GOMAXPROCS, 1 forces serial execution. Results are identical at any
+	// degree (deterministic morsel merge).
+	Parallelism int
 }
 
 // Select evaluates sel and returns the single-table result. RESULTDB
@@ -81,11 +87,11 @@ func (e *Executor) RunSPJ(spec *SPJSpec) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	join := JoinAll
+	join := JoinAllDegree
 	if e.DPJoinOrder {
-		join = JoinAllDP
+		join = JoinAllDPDegree
 	}
-	joined, err := join(spec.JoinPreds, rels)
+	joined, err := join(spec.JoinPreds, rels, e.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -107,12 +113,23 @@ func (e *Executor) RunSPJ(spec *SPJSpec) (*Relation, error) {
 // rels is keyed by lower-cased alias. It is also the post-join operator of
 // the paper (Section 6.4): internal/core hands it the reduced relations.
 func JoinAll(preds []JoinPred, rels map[string]*Relation) (*Relation, error) {
-	return JoinAllTrace(preds, rels, nil)
+	return joinAllDegreeTrace(preds, rels, 0, nil)
+}
+
+// JoinAllDegree is JoinAll at an explicit degree of parallelism (0 = auto,
+// 1 = serial); each hash join's build is partitioned and its probe chunked
+// across the shared worker pool.
+func JoinAllDegree(preds []JoinPred, rels map[string]*Relation, par int) (*Relation, error) {
+	return joinAllDegreeTrace(preds, rels, par, nil)
 }
 
 // JoinAllTrace is JoinAll with an optional step callback receiving one line
 // per join (keys, input and output cardinalities); EXPLAIN uses it.
 func JoinAllTrace(preds []JoinPred, rels map[string]*Relation, trace func(string)) (*Relation, error) {
+	return joinAllDegreeTrace(preds, rels, 0, trace)
+}
+
+func joinAllDegreeTrace(preds []JoinPred, rels map[string]*Relation, par int, trace func(string)) (*Relation, error) {
 	remaining := make(map[string]*Relation, len(rels))
 	for k, v := range rels {
 		remaining[k] = v
@@ -186,7 +203,7 @@ func JoinAllTrace(preds []JoinPred, rels map[string]*Relation, trace func(string
 			return nil, err
 		}
 		before := len(cur.Rows)
-		cur = hashJoinInner(cur, nrel, lCols, rCols)
+		cur = hashJoinInner(cur, nrel, lCols, rCols, par)
 		if trace != nil {
 			kind := "hash join"
 			if len(lCols) == 0 {
@@ -236,14 +253,9 @@ func (e *Executor) baseRelation(r RelRef, filters []sqlparse.Expr) (*Relation, e
 		return nil, err
 	}
 	out := &Relation{Cols: rel.Cols}
-	for _, row := range t.Rows {
-		v, err := check(row)
-		if err != nil {
-			return nil, err
-		}
-		if truthy(v) {
-			out.Rows = append(out.Rows, row)
-		}
+	out.Rows, err = filterRows(t.Rows, check, e.Parallelism)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -259,16 +271,30 @@ func (e *Executor) filter(rel *Relation, cond sqlparse.Expr) (*Relation, error) 
 		return nil, err
 	}
 	out := &Relation{Cols: rel.Cols}
-	for _, row := range rel.Rows {
-		v, err := check(row)
-		if err != nil {
-			return nil, err
-		}
-		if truthy(v) {
-			out.Rows = append(out.Rows, row)
-		}
+	out.Rows, err = filterRows(rel.Rows, check, e.Parallelism)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// filterRows evaluates a compiled predicate over rows in parallel chunks
+// (bound expressions are pure after binding), keeping the passing rows in
+// input order via the deterministic per-chunk merge.
+func filterRows(rows []types.Row, check boundExpr, par int) ([]types.Row, error) {
+	return parallel.MapErr(len(rows), par, func(lo, hi int) ([]types.Row, error) {
+		kept := make([]types.Row, 0, hi-lo)
+		for _, row := range rows[lo:hi] {
+			v, err := check(row)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				kept = append(kept, row)
+			}
+		}
+		return kept, nil
+	})
 }
 
 func (e *Executor) subRunner() SubqueryRunner {
@@ -293,14 +319,14 @@ func (e *Executor) selectSequential(sel *sqlparse.Select) (*Relation, error) {
 		if cur == nil {
 			cur = base
 		} else {
-			cur = hashJoinInner(cur, base, nil, nil) // comma join: cross product
+			cur = hashJoinInner(cur, base, nil, nil, e.Parallelism) // comma join: cross product
 		}
 		for _, j := range item.Joins {
 			right, err := e.baseRelation(RelRef{Alias: j.Ref.Name(), Table: j.Ref.Table}, nil)
 			if err != nil {
 				return nil, err
 			}
-			cur, err = joinOn(cur, right, j.On, j.Type == sqlparse.JoinLeftOuter, e.subRunner())
+			cur, err = joinOn(cur, right, j.On, j.Type == sqlparse.JoinLeftOuter, e.subRunner(), e.Parallelism)
 			if err != nil {
 				return nil, err
 			}

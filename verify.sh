@@ -1,0 +1,23 @@
+#!/bin/sh
+# verify.sh — repo verification gate.
+#
+# Runs static checks, a full build, the complete test suite, and the race
+# detector over the concurrency-sensitive packages (the morsel-parallel
+# execution layer and its two main consumers).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (parallel, engine, core, bloom)"
+go test -race ./internal/parallel ./internal/engine ./internal/core ./internal/bloom
+
+echo "verify.sh: all checks passed"
