@@ -20,6 +20,7 @@ import (
 	"resultdb/internal/engine"
 	"resultdb/internal/rewrite"
 	"resultdb/internal/sqlparse"
+	"resultdb/internal/trace"
 	"resultdb/internal/wire"
 	"resultdb/internal/workload/job"
 	"resultdb/internal/workload/ssb"
@@ -314,6 +315,42 @@ func BenchmarkParallelJoin16b(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := ex.RunSPJ(spec); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTracerOverhead16b measures the cost of the observability layer on
+// the heaviest acyclic query's single-table plan: "off" threads a nil tracer
+// through every operator (the production default — the nil fast path must be
+// free), "on" records a full span tree per run. verify.sh compares the two;
+// the structural guarantee that the disabled path allocates nothing is
+// asserted separately by TestNilTracerCostsNothing in internal/trace.
+func BenchmarkTracerOverhead16b(b *testing.B) {
+	e := jobEnvLarge(b)
+	sel, err := e.Select("16b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := engine.AnalyzeSPJ(sel, e.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			ex := &engine.Executor{Src: e.DB, Parallelism: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "on" {
+					ex.Tracer = trace.New("16b")
+				}
+				if _, err := ex.RunSPJ(spec); err != nil {
+					b.Fatal(err)
+				}
+				if mode == "on" {
+					ex.Tracer.Finish()
 				}
 			}
 		})

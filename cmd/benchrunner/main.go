@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,29 +16,33 @@ import (
 
 	"resultdb/internal/bench"
 	"resultdb/internal/parallel"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/trace"
 	"resultdb/internal/wire"
+	"resultdb/internal/workload/job"
 	"resultdb/internal/workload/ssb"
 	"resultdb/internal/workload/star"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig7|fig8|table2|fig9|table3|ssb|ablation-root|ablation-fold|ablation-bloom|ablation-joinorder|all")
-		scale   = flag.Float64("scale", 0.25, "JOB workload scale factor (1.0 = 10k titles / 80k cast rows)")
-		reps    = flag.Int("reps", 5, "repetitions per measurement (median reported)")
-		mbps    = flag.Float64("mbps", 100, "modeled data transfer rate in Mbps (Table 3)")
-		queries = flag.String("queries", "", "comma-separated JOB query names (default: experiment's own set)")
-		par     = flag.Int("par", 0, "degree of intra-query parallelism (0 = auto via RESULTDB_PARALLELISM or GOMAXPROCS, 1 = serial)")
+		exp       = flag.String("exp", "all", "experiment: table1|fig7|fig8|table2|fig9|table3|ssb|ablation-root|ablation-fold|ablation-bloom|ablation-joinorder|all")
+		scale     = flag.Float64("scale", 0.25, "JOB workload scale factor (1.0 = 10k titles / 80k cast rows)")
+		reps      = flag.Int("reps", 5, "repetitions per measurement (median reported)")
+		mbps      = flag.Float64("mbps", 100, "modeled data transfer rate in Mbps (Table 3)")
+		queries   = flag.String("queries", "", "comma-separated JOB query names (default: experiment's own set)")
+		par       = flag.Int("par", 0, "degree of intra-query parallelism (0 = auto via RESULTDB_PARALLELISM or GOMAXPROCS, 1 = serial)")
+		traceFile = flag.String("trace", "", "write JSON execution traces of the selected RESULTDB queries to this file and exit")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *reps, *mbps, *queries, *par); err != nil {
+	if err := run(*exp, *scale, *reps, *mbps, *queries, *par, *traceFile); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, reps int, mbps float64, queryList string, par int) error {
+func run(exp string, scale float64, reps int, mbps float64, queryList string, par int, traceFile string) error {
 	var names []string
 	if queryList != "" {
 		names = strings.Split(queryList, ",")
@@ -46,7 +51,7 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string, pa
 		}
 	}
 
-	needsJOB := exp != "fig7" && exp != "ssb"
+	needsJOB := exp != "fig7" && exp != "ssb" || traceFile != ""
 	var env *bench.Env
 	if needsJOB {
 		start := time.Now()
@@ -59,6 +64,10 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string, pa
 		env.DB.SetParallelism(par)
 		fmt.Printf("loaded JOB workload (scale %.2f) in %v, parallelism %d\n\n",
 			scale, time.Since(start).Round(time.Millisecond), parallel.Degree(par))
+	}
+
+	if traceFile != "" {
+		return writeTraces(env, names, traceFile)
 	}
 
 	want := func(name string) bool { return exp == name || exp == "all" }
@@ -144,5 +153,46 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string, pa
 		}
 		fmt.Println(bench.FormatAblation("Ablation: Bloom prefilter", rows, variants))
 	}
+	return nil
+}
+
+// writeTraces executes each selected JOB query as SELECT RESULTDB with the
+// tracer enabled and writes the structured traces (one JSON array) to path.
+func writeTraces(env *bench.Env, names []string, path string) error {
+	qs := job.Queries()
+	if len(names) > 0 {
+		var picked []job.Query
+		for _, name := range names {
+			q, err := job.QueryByName(name)
+			if err != nil {
+				return err
+			}
+			picked = append(picked, q)
+		}
+		qs = picked
+	}
+	var traces []*trace.Trace
+	for _, q := range qs {
+		sel, err := sqlparse.ParseSelect(q.SQL)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", q.Name, err)
+		}
+		sel.ResultDB = true
+		_, tr, err := env.DB.QueryWithTrace(sel)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", q.Name, err)
+		}
+		tr.Query = q.Name + ": " + tr.Query
+		traces = append(traces, tr)
+		fmt.Printf("traced %-4s %3d spans  %6.2fms\n", q.Name, len(tr.Spans), float64(tr.WallNS)/1e6)
+	}
+	data, err := json.MarshalIndent(traces, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d traces to %s\n", len(traces), path)
 	return nil
 }

@@ -10,8 +10,9 @@
 //	resultdb -f script.sql        # run a SQL script, then open the shell
 //
 // Shell meta-commands: \d (list tables), \d NAME (describe), \timing
-// (toggle timings), \strategy semijoin|decompose, \save FILE and
-// \open FILE (binary database snapshots), \q (quit).
+// (toggle timings), \trace (toggle per-query JSON execution traces),
+// \strategy semijoin|decompose, \save FILE and \open FILE (binary database
+// snapshots), \q (quit).
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"resultdb/internal/csvio"
 	"resultdb/internal/db"
 	"resultdb/internal/snapshot"
+	"resultdb/internal/sqlparse"
 	"resultdb/internal/workload/hierarchy"
 	"resultdb/internal/workload/job"
 	"resultdb/internal/workload/star"
@@ -33,11 +35,12 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "preload a workload: job | star | hierarchy")
-		scale    = flag.Float64("scale", 0.25, "JOB workload scale factor")
-		execSQL  = flag.String("e", "", "execute one statement and exit")
-		file     = flag.String("f", "", "execute a SQL script file before starting the shell")
-		csvDir   = flag.String("csv", "", "load every *.csv in the directory as a table before starting")
+		workload  = flag.String("workload", "", "preload a workload: job | star | hierarchy")
+		scale     = flag.Float64("scale", 0.25, "JOB workload scale factor")
+		execSQL   = flag.String("e", "", "execute one statement and exit")
+		file      = flag.String("f", "", "execute a SQL script file before starting the shell")
+		csvDir    = flag.String("csv", "", "load every *.csv in the directory as a table before starting")
+		traceExec = flag.Bool("trace", false, "emit a JSON execution trace after every SELECT")
 	)
 	flag.Parse()
 
@@ -64,14 +67,14 @@ func main() {
 		}
 	}
 	if *execSQL != "" {
-		s := &shell{db: d, out: os.Stdout}
+		s := &shell{db: d, out: os.Stdout, trace: *traceExec}
 		if err := s.execute(*execSQL); err != nil {
 			fmt.Fprintln(os.Stderr, "resultdb:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	(&shell{db: d, out: os.Stdout}).repl(os.Stdin)
+	(&shell{db: d, out: os.Stdout, trace: *traceExec}).repl(os.Stdin)
 }
 
 // loadCSVDir loads every *.csv file in dir as a table named after the file.
@@ -118,6 +121,7 @@ type shell struct {
 	db     *db.Database
 	out    *os.File
 	timing bool
+	trace  bool
 }
 
 func (s *shell) repl(in *os.File) {
@@ -164,6 +168,9 @@ func (s *shell) meta(cmd string) bool {
 	case "\\timing":
 		s.timing = !s.timing
 		fmt.Fprintf(s.out, "timing %v\n", s.timing)
+	case "\\trace":
+		s.trace = !s.trace
+		fmt.Fprintf(s.out, "trace %v\n", s.trace)
 	case "\\strategy":
 		if len(fields) == 2 {
 			switch fields[1] {
@@ -214,7 +221,7 @@ func (s *shell) meta(cmd string) bool {
 			fmt.Fprintf(s.out, "%-24s %8d rows\n", name, t.Len())
 		}
 	default:
-		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\strategy, \\q")
+		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\trace, \\strategy, \\q")
 	}
 	return false
 }
@@ -249,16 +256,30 @@ func (s *shell) openSnapshot(path string) error {
 
 func (s *shell) execute(sql string) error {
 	start := time.Now()
-	results, err := s.db.ExecScript(sql)
+	stmts, err := sqlparse.ParseScript(sql)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-	for _, res := range results {
+	for _, st := range stmts {
+		if sel, ok := st.(*sqlparse.Select); ok && s.trace {
+			res, tr, err := s.db.QueryWithTrace(sel)
+			if err != nil {
+				return fmt.Errorf("statement %q: %w", st.SQL(), err)
+			}
+			s.printResult(res)
+			if data, jerr := tr.JSON(); jerr == nil {
+				fmt.Fprintln(s.out, string(data))
+			}
+			continue
+		}
+		res, err := s.db.ExecStatement(st)
+		if err != nil {
+			return fmt.Errorf("statement %q: %w", st.SQL(), err)
+		}
 		s.printResult(res)
 	}
 	if s.timing {
-		fmt.Fprintf(s.out, "Time: %.3f ms\n", float64(elapsed.Microseconds())/1000)
+		fmt.Fprintf(s.out, "Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
 	}
 	return nil
 }

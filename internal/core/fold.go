@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"resultdb/internal/engine"
+	"resultdb/internal/trace"
 )
 
 // FoldStrategy selects which nodes to fold when breaking cycles (the paper's
@@ -31,10 +32,11 @@ const (
 // removes one node and at least one edge, and joining adjacent relations
 // never changes the overall join result (associativity).
 func FoldJoinGraph(g *Graph, strategy FoldStrategy, st *Stats) error {
-	return foldJoinGraphTrace(g, strategy, st, nil, 0)
+	opts := Options{Fold: strategy}
+	return foldJoinGraphTrace(g, strategy, st, &opts)
 }
 
-func foldJoinGraphTrace(g *Graph, strategy FoldStrategy, st *Stats, trace func(string), par int) error {
+func foldJoinGraphTrace(g *Graph, strategy FoldStrategy, st *Stats, opts *Options) error {
 	for g.IsCyclic() {
 		x, y, err := chooseFoldPair(g, strategy)
 		if err != nil {
@@ -42,13 +44,24 @@ func foldJoinGraphTrace(g *Graph, strategy FoldStrategy, st *Stats, trace func(s
 		}
 		xn, yn := x.Name(), y.Name()
 		xr, yr := len(x.Rel.Rows), len(y.Rel.Rows)
-		if err := foldPair(g, x, y, par); err != nil {
+		var sp *trace.Span
+		if opts.Tracer.Enabled() {
+			sp = opts.Tracer.Span("fold", xn+" ⋈ "+yn)
+			sp.Phase = "fold"
+			sp.RowsIn = xr
+			sp.RowsBuild = yr
+		}
+		if err := foldPairSpan(g, x, y, opts.Parallelism, sp); err != nil {
 			return err
 		}
 		st.Folds++
-		if trace != nil {
-			z := g.Nodes[len(g.Nodes)-1]
-			trace(fmt.Sprintf("fold %s ⋈ %s  rows: %d x %d -> %d", xn, yn, xr, yr, len(z.Rel.Rows)))
+		z := g.Nodes[len(g.Nodes)-1]
+		if sp != nil {
+			sp.RowsOut = len(z.Rel.Rows)
+			opts.Tracer.AddRowsJoined(len(z.Rel.Rows))
+		}
+		if opts.Trace != nil {
+			opts.Trace(fmt.Sprintf("fold %s ⋈ %s  rows: %d x %d -> %d", xn, yn, xr, yr, len(z.Rel.Rows)))
 		}
 	}
 	return nil
@@ -119,6 +132,12 @@ func cardProduct(e *Edge) int {
 // affected edges (line 5 of Algorithm 3). The fold join runs at degree par
 // (0 = auto, 1 = serial) with deterministic ordered output.
 func foldPair(g *Graph, x, y *Node, par int) error {
+	return foldPairSpan(g, x, y, par, nil)
+}
+
+// foldPairSpan is foldPair recording the fold join's build/probe timings on
+// sp (nil = no tracing).
+func foldPairSpan(g *Graph, x, y *Node, par int, sp *trace.Span) error {
 	// Join x and y on the conjunction of all predicates between them.
 	var between *Edge
 	for _, e := range g.Edges {
@@ -136,9 +155,9 @@ func foldPair(g *Graph, x, y *Node, par int) error {
 	}
 	var joined *engine.Relation
 	if between.X == x {
-		joined = engine.HashJoinDegree(x.Rel, y.Rel, xCols, yCols, par)
+		joined = engine.HashJoinSpan(x.Rel, y.Rel, xCols, yCols, par, sp)
 	} else {
-		joined = engine.HashJoinDegree(x.Rel, y.Rel, yCols, xCols, par)
+		joined = engine.HashJoinSpan(x.Rel, y.Rel, yCols, xCols, par, sp)
 	}
 	z := &Node{
 		Aliases: append(append([]string(nil), x.Aliases...), y.Aliases...),

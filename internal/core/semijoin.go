@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"resultdb/internal/engine"
 	"resultdb/internal/parallel"
+	"resultdb/internal/trace"
 )
 
 // SemiJoinReduce is the paper's RESULTDB-SEMIJOIN algorithm (Algorithm 4):
@@ -36,15 +38,21 @@ func SemiJoinReduce(spec *engine.SPJSpec, rels map[string]*engine.Relation, outp
 		// α-reduction: drop transitively implied predicates; a JG-cyclic
 		// but α-acyclic query becomes a tree and needs no folding.
 		DropImpliedEdges(g, st)
-		if opts.Trace != nil && st.ImpliedEdgesDropped > 0 {
-			opts.Trace(fmt.Sprintf("alpha-reduction dropped %d implied edge(s)", st.ImpliedEdgesDropped))
+		if st.ImpliedEdgesDropped > 0 {
+			msg := fmt.Sprintf("alpha-reduction dropped %d implied edge(s)", st.ImpliedEdgesDropped)
+			opts.Tracer.Note(msg)
+			if opts.Trace != nil {
+				opts.Trace(msg)
+			}
 		}
 	}
 	if g.IsCyclic() {
+		msg := fmt.Sprintf("join graph cyclic (%d nodes, %d edges); folding", len(g.Nodes), len(g.Edges))
+		opts.Tracer.Note(msg)
 		if opts.Trace != nil {
-			opts.Trace(fmt.Sprintf("join graph cyclic (%d nodes, %d edges); folding", len(g.Nodes), len(g.Edges)))
+			opts.Trace(msg)
 		}
-		if err := foldJoinGraphTrace(g, opts.Fold, st, opts.Trace, opts.Parallelism); err != nil {
+		if err := foldJoinGraphTrace(g, opts.Fold, st, &opts); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -62,6 +70,12 @@ func SemiJoinReduce(spec *engine.SPJSpec, rels map[string]*engine.Relation, outp
 					continue
 				}
 				base := n.Rel.ProjectPar(n.Rel.ColumnsOf(alias), opts.Parallelism).DistinctPar(opts.Parallelism)
+				if sp := opts.Tracer.Span("decompose", alias); sp != nil {
+					sp.Phase = "decompose"
+					sp.Detail = "unfold " + n.Name()
+					sp.RowsIn = len(n.Rel.Rows)
+					sp.RowsOut = len(base.Rows)
+				}
 				out[strings.ToLower(alias)] = base
 			}
 			continue
@@ -98,6 +112,18 @@ func Decompose(joined *engine.Relation, aliases []string) (map[string]*engine.Re
 // run concurrently across aliases; each step's own project/dedup work is also
 // chunked at the same degree. Results are identical at any degree.
 func DecomposePar(joined *engine.Relation, aliases []string, par int) (map[string]*engine.Relation, error) {
+	return DecomposeTraced(joined, aliases, par, nil)
+}
+
+// DecomposeTraced is DecomposePar recording one span per decomposed relation
+// (rows before projection, rows after dedup). Spans are registered after the
+// parallel fan-out completes, in alias order, so the trace is deterministic
+// at any degree; tr may be nil.
+func DecomposeTraced(joined *engine.Relation, aliases []string, par int, tr *trace.Tracer) (map[string]*engine.Relation, error) {
+	var t0 time.Time
+	if tr.Enabled() {
+		t0 = time.Now()
+	}
 	results := make([]*engine.Relation, len(aliases))
 	errs := make([]error, len(aliases))
 	parallel.Each(len(aliases), par, func(i int) {
@@ -109,10 +135,23 @@ func DecomposePar(joined *engine.Relation, aliases []string, par int) (map[strin
 		}
 		results[i] = joined.ProjectPar(cols, par).DistinctPar(par)
 	})
+	var durNS int64
+	if tr.Enabled() {
+		durNS = time.Since(t0).Nanoseconds()
+	}
 	out := make(map[string]*engine.Relation, len(aliases))
 	for i, alias := range aliases {
 		if errs[i] != nil {
 			return nil, errs[i]
+		}
+		if sp := tr.Span("decompose", alias); sp != nil {
+			sp.Phase = "decompose"
+			sp.RowsIn = len(joined.Rows)
+			sp.RowsOut = len(results[i].Rows)
+			sp.Par = parallel.Degree(par)
+			if i == 0 {
+				sp.DurNS = durNS // whole fan-out, attributed once
+			}
 		}
 		out[strings.ToLower(alias)] = results[i]
 	}

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"resultdb/internal/bloom"
 	"resultdb/internal/engine"
 	"resultdb/internal/parallel"
+	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
 
@@ -91,18 +93,30 @@ func bfsEdges(g *Graph, root *Node) ([]bfsEdge, error) {
 
 // semiJoinNodes reduces target by source along edge e (target ⋉ source),
 // returning whether target shrank. The probe over target's rows runs at
-// degree par (0 = auto, 1 = serial) with deterministic ordered merge.
-func semiJoinNodes(target, source *Node, e *Edge, st *Stats, trace func(string), par int) error {
+// degree par (0 = auto, 1 = serial) with deterministic ordered merge. phase
+// labels the pass ("bottom-up" or "top-down") in the recorded span.
+func semiJoinNodes(target, source *Node, e *Edge, st *Stats, opts *Options, phase string) error {
 	tCols, sCols, err := edgeColsFor(target, e)
 	if err != nil {
 		return err
 	}
 	before := len(target.Rel.Rows)
-	target.Rel = engine.SemiJoinDegree(target.Rel, tCols, source.Rel, sCols, par)
+	var sp *trace.Span
+	if opts.Tracer.Enabled() {
+		sp = opts.Tracer.Span("semi-join", target.Name()+" ⋉ "+source.Name())
+		sp.Phase = phase
+		sp.RowsIn = before
+		sp.RowsBuild = len(source.Rel.Rows)
+	}
+	target.Rel = engine.SemiJoinSpan(target.Rel, tCols, source.Rel, sCols, opts.Parallelism, sp)
 	st.SemiJoins++
 	st.TuplesDropped += before - len(target.Rel.Rows)
-	if trace != nil {
-		trace(fmt.Sprintf("semi-join %s ⋉ %s  rows: %d -> %d",
+	if sp != nil {
+		sp.RowsOut = len(target.Rel.Rows)
+		opts.Tracer.AddRowsDropped(before - len(target.Rel.Rows))
+	}
+	if opts.Trace != nil {
+		opts.Trace(fmt.Sprintf("semi-join %s ⋉ %s  rows: %d -> %d",
 			target.Name(), source.Name(), before, len(target.Rel.Rows)))
 	}
 	return nil
@@ -112,10 +126,22 @@ func semiJoinNodes(target, source *Node, e *Edge, st *Stats, trace func(string),
 // source's join keys. It may retain false positives but never drops a
 // matching tuple. Both the filter build (atomic bit sets) and the probe
 // (chunked with ordered merge) run at degree par.
-func bloomSemiJoinNodes(target, source *Node, e *Edge, fpRate float64, st *Stats, par int) error {
+func bloomSemiJoinNodes(target, source *Node, e *Edge, fpRate float64, st *Stats, opts *Options) error {
+	par := opts.Parallelism
 	tCols, sCols, err := edgeColsFor(target, e)
 	if err != nil {
 		return err
+	}
+	var sp *trace.Span
+	var t0 time.Time
+	if opts.Tracer.Enabled() {
+		sp = opts.Tracer.Span("bloom-semi-join", target.Name()+" ⋉ "+source.Name())
+		sp.Phase = "bloom-prefilter"
+		sp.RowsIn = len(target.Rel.Rows)
+		sp.RowsBuild = len(source.Rel.Rows)
+		sp.Par = parallel.Degree(par)
+		sp.Morsels = parallel.Chunks(len(target.Rel.Rows), par)
+		t0 = time.Now()
 	}
 	f := bloom.New(len(source.Rel.Rows), fpRate)
 	if parallel.Chunks(len(source.Rel.Rows), par) > 1 {
@@ -129,6 +155,10 @@ func bloomSemiJoinNodes(target, source *Node, e *Edge, fpRate float64, st *Stats
 			f.AddKey(row, sCols)
 		}
 	}
+	if sp != nil {
+		sp.BuildNS = time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+	}
 	out := &engine.Relation{Cols: target.Rel.Cols}
 	out.Rows = parallel.Map(len(target.Rel.Rows), par, func(lo, hi int) []types.Row {
 		kept := make([]types.Row, 0, hi-lo)
@@ -141,6 +171,11 @@ func bloomSemiJoinNodes(target, source *Node, e *Edge, fpRate float64, st *Stats
 	})
 	st.BloomSemiJoins++
 	st.BloomDropped += len(target.Rel.Rows) - len(out.Rows)
+	if sp != nil {
+		sp.ProbeNS = time.Since(t0).Nanoseconds()
+		sp.RowsOut = len(out.Rows)
+		opts.Tracer.AddRowsDropped(len(target.Rel.Rows) - len(out.Rows))
+	}
 	target.Rel = out
 	return nil
 }
@@ -162,6 +197,11 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 	st.Parallelism = par
 	root := chooseRoot(g, opts.Root)
 	st.Root = root.Name()
+	if sp := opts.Tracer.Span("root", root.Name()); sp != nil {
+		sp.Detail = fmt.Sprintf("(degree %d, projected %v)", g.Degree(root), g.Projected(root))
+		sp.RowsIn = len(root.Rel.Rows)
+		sp.RowsOut = len(root.Rel.Rows)
+	}
 	if opts.Trace != nil {
 		opts.Trace(fmt.Sprintf("root: %s (degree %d, projected %v)",
 			root.Name(), g.Degree(root), g.Projected(root)))
@@ -180,12 +220,12 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 		}
 		for i := len(order) - 1; i >= 0; i-- {
 			be := order[i]
-			if err := bloomSemiJoinNodes(be.parent, be.child, be.edge, fp, st, opts.Parallelism); err != nil {
+			if err := bloomSemiJoinNodes(be.parent, be.child, be.edge, fp, st, &opts); err != nil {
 				return err
 			}
 		}
 		for _, be := range order {
-			if err := bloomSemiJoinNodes(be.child, be.parent, be.edge, fp, st, opts.Parallelism); err != nil {
+			if err := bloomSemiJoinNodes(be.child, be.parent, be.edge, fp, st, &opts); err != nil {
 				return err
 			}
 		}
@@ -194,7 +234,7 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 	// (1) Bottom-up: reduce parents by children, leaves towards root.
 	for i := len(order) - 1; i >= 0; i-- {
 		be := order[i]
-		if err := semiJoinNodes(be.parent, be.child, be.edge, st, opts.Trace, opts.Parallelism); err != nil {
+		if err := semiJoinNodes(be.parent, be.child, be.edge, st, &opts, "bottom-up"); err != nil {
 			return err
 		}
 	}
@@ -216,6 +256,7 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 		if opts.EarlyStop {
 			if remainingProjected == 0 {
 				st.EarlyStopped = true
+				opts.Tracer.Note("early stop: all output relations fully reduced")
 				if opts.Trace != nil {
 					opts.Trace("early stop: all output relations fully reduced")
 				}
@@ -223,13 +264,14 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 			}
 			if !needed[be.child] {
 				st.SkippedSemiJoins++
+				opts.Tracer.Note("skip top-down into " + be.child.Name() + " (no output relation in subtree)")
 				if opts.Trace != nil {
 					opts.Trace("skip top-down into " + be.child.Name() + " (no output relation in subtree)")
 				}
 				continue
 			}
 		}
-		if err := semiJoinNodes(be.child, be.parent, be.edge, st, opts.Trace, opts.Parallelism); err != nil {
+		if err := semiJoinNodes(be.child, be.parent, be.edge, st, &opts, "top-down"); err != nil {
 			return err
 		}
 		if opts.EarlyStop && g.Projected(be.child) {
@@ -288,8 +330,13 @@ type Options struct {
 	// entirely. Exact: only logically redundant predicates are removed.
 	AlphaReduce bool
 	// Trace, when non-nil, receives one line per algorithm step (root
-	// choice, folds, semi-joins with cardinalities); EXPLAIN uses it.
+	// choice, folds, semi-joins with cardinalities). Retained for legacy
+	// line-oriented consumers; the structured Tracer below supersedes it.
 	Trace func(string)
+	// Tracer, when non-nil, records structured per-operator spans (per-edge
+	// semi-join reductions of the forward/backward passes, Bloom prefilter
+	// work, folds, root choice). Nil is the disabled fast path.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions mirror the paper's implementation choices, plus the

@@ -15,6 +15,7 @@ import (
 	"resultdb/internal/engine"
 	"resultdb/internal/sqlparse"
 	"resultdb/internal/storage"
+	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
 
@@ -140,6 +141,14 @@ func (r *Result) WireSize() int {
 // executor builds an engine executor honoring the database's settings.
 func (d *Database) executor() *engine.Executor {
 	return &engine.Executor{Src: d, DPJoinOrder: d.DPJoinOrder, Parallelism: d.CoreOptions.Parallelism}
+}
+
+// executorTraced is executor with an optional tracer attached (nil =
+// disabled, identical to executor()).
+func (d *Database) executorTraced(tr *trace.Tracer) *engine.Executor {
+	ex := d.executor()
+	ex.Tracer = tr
+	return ex
 }
 
 // SetParallelism sets the degree of intra-query parallelism used by joins,
@@ -377,7 +386,7 @@ func (d *Database) execCreateMatView(s *sqlparse.CreateMaterializedView) (*Resul
 // createResultDBView materializes a subdatabase view (use case 2 of the
 // paper): one materialized view per output relation, named <view>_<alias>.
 func (d *Database) createResultDBView(s *sqlparse.CreateMaterializedView) (*Result, error) {
-	res, err := d.queryResultDBLocked(s.Query, ModeRDBRP)
+	res, err := d.queryResultDBLocked(s.Query, ModeRDBRP, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,118 +1,47 @@
 package db
 
 import (
-	"fmt"
-
-	"resultdb/internal/core"
-	"resultdb/internal/engine"
+	"resultdb/internal/parallel"
 	"resultdb/internal/sqlparse"
+	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
 
-// execExplain implements EXPLAIN <select>. The engine is main-memory and
-// materializing, so EXPLAIN executes the plan and reports actual
-// cardinalities per step (EXPLAIN ANALYZE semantics). For RESULTDB queries
-// it reports the join-graph analysis, folds, root choice, and the semi-join
-// schedule of Algorithm 4.
+// execExplain implements EXPLAIN [ANALYZE] <select>. The engine is
+// main-memory and materializing, so EXPLAIN executes the plan and reports
+// actual cardinalities per step. Both forms render from the same structured
+// trace that db.QueryWithTrace returns — there is exactly one plan-rendering
+// path:
+//
+//   - EXPLAIN prints the compact classic plan (fully deterministic: one line
+//     per step with actual cardinalities, no timings).
+//   - EXPLAIN ANALYZE prints the annotated operator tree: spans grouped by
+//     phase with rows in/out, key counts, transfer bytes, and (in trailing
+//     brackets that tooling may strip) wall times, parallel degrees, and
+//     morsel counts.
+//
+// For RESULTDB queries the plan reports the join-graph analysis, folds, root
+// choice, and the semi-join schedule of Algorithm 4.
 func (d *Database) execExplain(ex *sqlparse.Explain) (*Result, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	tr := trace.New(ex.Query.SQL())
+	tr.SetParallelism(parallel.Degree(d.CoreOptions.Parallelism))
+	if _, err := d.queryLocked(ex.Query, tr); err != nil {
+		return nil, err
+	}
+	snap := tr.Finish()
 	var lines []string
-	sel := ex.Query
-	if sel.ResultDB {
-		var err error
-		lines, err = d.explainResultDB(sel)
-		if err != nil {
-			return nil, err
-		}
+	if ex.Analyze {
+		lines = snap.TreeLines()
 	} else {
-		var err error
-		lines, err = d.explainSingleTable(sel)
-		if err != nil {
-			return nil, err
-		}
+		lines = snap.CompactLines()
 	}
 	set := &ResultSet{Name: "plan", Columns: []string{"plan"}}
 	for _, l := range lines {
 		set.Rows = append(set.Rows, types.Row{types.NewText(l)})
 	}
 	return &Result{Sets: []*ResultSet{set}}, nil
-}
-
-func (d *Database) explainSingleTable(sel *sqlparse.Select) ([]string, error) {
-	exec := d.executor()
-	spec, err := engine.AnalyzeSPJ(sel, d)
-	if err != nil {
-		// Non-SPJ queries (outer joins, aggregates) run through the
-		// sequential pipeline; describe it coarsely but execute for real.
-		rel, runErr := exec.Select(sel)
-		if runErr != nil {
-			return nil, runErr
-		}
-		return []string{
-			"sequential pipeline (non-SPJ query: outer join, aggregate, or computed select list)",
-			fmt.Sprintf("result rows: %d", len(rel.Rows)),
-		}, nil
-	}
-	lines := []string{"single-table plan (greedy hash-join order, actual cardinalities)"}
-	steps, err := exec.ExplainSPJ(spec)
-	if err != nil {
-		return nil, err
-	}
-	return append(lines, steps...), nil
-}
-
-func (d *Database) explainResultDB(sel *sqlparse.Select) ([]string, error) {
-	spec, err := engine.AnalyzeSPJ(stripResultDB(sel), d)
-	if err != nil {
-		return nil, fmt.Errorf("db: RESULTDB requires a select-project-join query: %w", err)
-	}
-	lines := []string{"RESULTDB plan (Algorithm 4, actual cardinalities)"}
-	outputs := spec.OutputRels()
-	lines = append(lines, fmt.Sprintf("output relations: %v", outputs))
-
-	strategy := d.Strategy
-	if len(spec.Residual) > 0 {
-		strategy = StrategyDecompose
-		lines = append(lines, "cross-relation residual predicates present; using Decompose strategy")
-	}
-	exec := d.executor()
-	if strategy == StrategyDecompose {
-		steps, err := exec.ExplainSPJ(spec)
-		if err != nil {
-			return nil, err
-		}
-		lines = append(lines, "strategy: single-table plan + Decompose operator")
-		lines = append(lines, steps...)
-		lines = append(lines, fmt.Sprintf("decompose into %d relations + dedup", len(outputs)))
-		return lines, nil
-	}
-
-	lines = append(lines, "strategy: native semi-join reduction")
-	rels, err := exec.BaseRelations(spec)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range spec.Rels {
-		filter := spec.FilterSQL(r.Alias)
-		if filter == "" {
-			filter = "true"
-		}
-		lines = append(lines, fmt.Sprintf("scan %s AS %s  filter: %s  rows: %d",
-			r.Table, r.Alias, filter, len(rels[lower(r.Alias)].Rows)))
-	}
-	opts := d.CoreOptions
-	opts.Trace = func(step string) { lines = append(lines, step) }
-	reduced, stats, err := core.SemiJoinReduce(spec, rels, nil, opts)
-	if err != nil {
-		return nil, err
-	}
-	for _, alias := range outputs {
-		lines = append(lines, fmt.Sprintf("return %s  rows: %d (before projection dedup)",
-			alias, len(reduced[lower(alias)].Rows)))
-	}
-	lines = append(lines, "stats: "+stats.String())
-	return lines, nil
 }
 
 func lower(s string) string {

@@ -7,7 +7,9 @@ import (
 
 	"resultdb/internal/core"
 	"resultdb/internal/engine"
+	"resultdb/internal/parallel"
 	"resultdb/internal/sqlparse"
+	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
 
@@ -16,14 +18,35 @@ import (
 func (d *Database) Query(sel *sqlparse.Select) (*Result, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	return d.queryLocked(sel, nil)
+}
+
+// QueryWithTrace executes a SELECT with execution tracing enabled and returns
+// the result together with the structured trace (per-operator spans with
+// actual cardinalities, wall times, and transfer bytes). The result is
+// bit-identical to Query's; tracing only observes.
+func (d *Database) QueryWithTrace(sel *sqlparse.Select) (*Result, *trace.Trace, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	tr := trace.New(sel.SQL())
+	tr.SetParallelism(parallel.Degree(d.CoreOptions.Parallelism))
+	res, err := d.queryLocked(sel, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr.Finish(), nil
+}
+
+// queryLocked dispatches a SELECT with an optional tracer (nil = disabled).
+func (d *Database) queryLocked(sel *sqlparse.Select, tr *trace.Tracer) (*Result, error) {
 	if sel.ResultDB {
 		mode := ModeRDB
 		if sel.Preserving {
 			mode = ModeRDBRP
 		}
-		return d.queryResultDBLocked(sel, mode)
+		return d.queryResultDBLocked(sel, mode, tr)
 	}
-	return d.querySingleTableLocked(sel)
+	return d.querySingleTableLocked(sel, tr)
 }
 
 // QuerySQL parses and executes a SELECT given as text.
@@ -41,21 +64,36 @@ func (d *Database) QuerySQL(sql string) (*Result, error) {
 func (d *Database) QueryResultDB(sel *sqlparse.Select, mode Mode) (*Result, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.queryResultDBLocked(sel, mode)
+	return d.queryResultDBLocked(sel, mode, nil)
 }
 
-func (d *Database) querySingleTableLocked(sel *sqlparse.Select) (*Result, error) {
-	ex := d.executor()
+func (d *Database) querySingleTableLocked(sel *sqlparse.Select, tr *trace.Tracer) (*Result, error) {
+	tr.SetMode("single-table")
+	ex := d.executorTraced(tr)
 	rel, err := ex.Select(sel)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Sets: []*ResultSet{relToSet("result", rel, rel.ColumnNames())}}, nil
+	set := relToSet("result", rel, rel.ColumnNames())
+	if sp := tr.Span("output", "result"); sp != nil {
+		sp.Phase = "output"
+		sp.RowsIn = len(rel.Rows)
+		sp.RowsOut = len(set.Rows)
+		sp.Bytes = set.WireSize()
+		tr.AddRowsOut(len(set.Rows))
+		tr.AddBytes(sp.Bytes)
+	}
+	return &Result{Sets: []*ResultSet{set}}, nil
 }
 
-func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode) (*Result, error) {
+func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode, tr *trace.Tracer) (*Result, error) {
 	if len(sel.OrderBy) > 0 || sel.Limit != nil {
 		return nil, fmt.Errorf("db: RESULTDB does not support ORDER BY/LIMIT (which relation would they apply to?)")
+	}
+	if mode == ModeRDBRP {
+		tr.SetMode("resultdb-preserving")
+	} else {
+		tr.SetMode("resultdb")
 	}
 	spec, err := engine.AnalyzeSPJ(stripResultDB(sel), d)
 	if err != nil {
@@ -65,11 +103,15 @@ func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode) (*Result
 	if mode == ModeRDBRP {
 		outputs = relationshipRels(spec)
 	}
-	reduced, stats, err := d.reduceSpec(spec, outputs)
+	tr.SetOutputs(outputs)
+	reduced, stats, err := d.reduceSpec(spec, outputs, tr)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Stats: stats}
+	if stats != nil {
+		tr.SetStats(stats.String())
+	}
 	if mode == ModeRDBRP {
 		res.PostJoinPlan = buildPostJoinPlan(spec, outputs)
 	}
@@ -84,6 +126,14 @@ func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode) (*Result
 		set, err := projectSet(alias, rel, attrs, d.CoreOptions.Parallelism)
 		if err != nil {
 			return nil, err
+		}
+		if sp := tr.Span("output", alias); sp != nil {
+			sp.Phase = "output"
+			sp.RowsIn = len(rel.Rows)
+			sp.RowsOut = len(set.Rows)
+			sp.Bytes = set.WireSize()
+			tr.AddRowsOut(len(set.Rows))
+			tr.AddBytes(sp.Bytes)
 		}
 		res.Sets = append(res.Sets, set)
 	}
@@ -107,18 +157,23 @@ func relationshipRels(spec *engine.SPJSpec) []string {
 // algorithm cannot handle (cross-relation residual predicates, disconnected
 // join graphs) automatically use the Decompose strategy, which is always
 // applicable.
-func (d *Database) reduceSpec(spec *engine.SPJSpec, outputs []string) (map[string]*engine.Relation, *core.Stats, error) {
-	ex := d.executor()
+func (d *Database) reduceSpec(spec *engine.SPJSpec, outputs []string, tr *trace.Tracer) (map[string]*engine.Relation, *core.Stats, error) {
+	ex := d.executorTraced(tr)
 	strategy := d.Strategy
 	if len(spec.Residual) > 0 {
 		strategy = StrategyDecompose
+		tr.Note("cross-relation residual predicates present; using Decompose strategy")
 	}
 	if strategy == StrategySemiJoin {
+		tr.SetStrategy("semijoin")
+		tr.Note("strategy: native semi-join reduction")
 		rels, err := ex.BaseRelations(spec)
 		if err != nil {
 			return nil, nil, err
 		}
-		reduced, stats, err := core.SemiJoinReduce(spec, rels, outputs, d.CoreOptions)
+		opts := d.CoreOptions
+		opts.Tracer = tr
+		reduced, stats, err := core.SemiJoinReduce(spec, rels, outputs, opts)
 		if err == nil {
 			return reduced, stats, nil
 		}
@@ -126,15 +181,19 @@ func (d *Database) reduceSpec(spec *engine.SPJSpec, outputs []string) (map[strin
 			return nil, nil, err
 		}
 		// Cross product in the query: fall through to Decompose.
+		tr.Note("join graph disconnected (cross product); falling back to Decompose strategy")
 	}
+	tr.SetStrategy("decompose")
+	tr.Note("strategy: single-table plan + Decompose operator")
 	joined, err := ex.RunSPJ(spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	reduced, err := core.DecomposePar(joined, outputs, d.CoreOptions.Parallelism)
+	reduced, err := core.DecomposeTraced(joined, outputs, d.CoreOptions.Parallelism, tr)
 	if err != nil {
 		return nil, nil, err
 	}
+	tr.Note(fmt.Sprintf("decompose into %d relations + dedup", len(outputs)))
 	return reduced, nil, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"resultdb/internal/catalog"
 	"resultdb/internal/sqlparse"
+	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
 
@@ -117,15 +118,12 @@ func TestExplainSPJOutput(t *testing.T) {
 	sel, _ := sqlparse.ParseSelect(`
 		SELECT c.name, p.name FROM customers AS c, orders AS o, products AS p
 		WHERE c.id = o.cid AND p.id = o.pid AND c.state = 'NY' AND c.id + p.id >= 0`)
-	spec, err := AnalyzeSPJ(sel, src)
-	if err != nil {
+	tr := trace.New(sel.SQL())
+	ex := &Executor{Src: src, Tracer: tr}
+	if _, err := ex.Select(sel); err != nil {
 		t.Fatal(err)
 	}
-	ex := &Executor{Src: src}
-	lines, err := ex.ExplainSPJ(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
+	lines := tr.Finish().CompactLines()
 	text := strings.Join(lines, "\n")
 	for _, want := range []string{
 		"scan customers AS c",

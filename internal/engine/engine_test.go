@@ -400,7 +400,7 @@ func TestHashJoinMatchesNestedLoopOracle(t *testing.T) {
 			l.Rows = append(l.Rows, ir(rng(8), i))
 			r.Rows = append(r.Rows, ir(rng(8), i+1000))
 		}
-		got := hashJoinInner(l, r, []int{0}, []int{0}, 1)
+		got := hashJoinInner(l, r, []int{0}, []int{0}, 1, nil)
 		want := 0
 		for _, lr := range l.Rows {
 			for _, rr := range r.Rows {

@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"resultdb/internal/parallel"
 	"resultdb/internal/sqlparse"
+	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
 
@@ -16,9 +18,19 @@ import (
 // build side is partitioned across workers, the probe side is split into
 // contiguous row chunks with per-chunk output buffers merged in input order,
 // so the result is bit-identical to serial execution at any degree.
-func hashJoinInner(l, r *Relation, lCols, rCols []int, par int) *Relation {
+//
+// A non-nil sp records the build/probe wall-time split, the effective
+// degree, and the morsel count; a nil sp (tracing disabled) skips all clock
+// reads.
+func hashJoinInner(l, r *Relation, lCols, rCols []int, par int, sp *trace.Span) *Relation {
 	out := &Relation{Cols: concatCols(l.Cols, r.Cols)}
+	var t0 time.Time
 	if len(lCols) == 0 {
+		if sp != nil {
+			sp.Par = parallel.Degree(par)
+			sp.Morsels = parallel.Chunks(len(l.Rows), par)
+			t0 = time.Now()
+		}
 		out.Rows = parallel.Map(len(l.Rows), par, func(lo, hi int) []types.Row {
 			rows := make([]types.Row, 0, (hi-lo)*len(r.Rows))
 			for _, lr := range l.Rows[lo:hi] {
@@ -28,34 +40,54 @@ func hashJoinInner(l, r *Relation, lCols, rCols []int, par int) *Relation {
 			}
 			return rows
 		})
+		if sp != nil {
+			sp.ProbeNS = time.Since(t0).Nanoseconds()
+		}
 		return out
 	}
 	// Build on the smaller input, probe with the larger in parallel chunks.
-	if len(r.Rows) <= len(l.Rows) {
-		idx := buildHash(r, rCols, par)
-		out.Rows = parallel.Map(len(l.Rows), par, func(lo, hi int) []types.Row {
+	build, probe := r, l
+	buildCols, probeCols := rCols, lCols
+	if len(r.Rows) > len(l.Rows) {
+		build, probe = l, r
+		buildCols, probeCols = lCols, rCols
+	}
+	if sp != nil {
+		sp.Par = parallel.Degree(par)
+		sp.Morsels = parallel.Chunks(len(probe.Rows), par)
+		t0 = time.Now()
+	}
+	idx := buildHash(build, buildCols, par)
+	if sp != nil {
+		sp.BuildNS = time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+	}
+	if probe == l {
+		out.Rows = parallel.Map(len(probe.Rows), par, func(lo, hi int) []types.Row {
 			rows := make([]types.Row, 0, hi-lo)
 			var lr types.Row
-			emit := func(pos int) { rows = append(rows, concatRows(lr, r.Rows[pos])) }
-			for _, row := range l.Rows[lo:hi] {
+			emit := func(pos int) { rows = append(rows, concatRows(lr, build.Rows[pos])) }
+			for _, row := range probe.Rows[lo:hi] {
 				lr = row
-				probeHashEach(idx, r, rCols, lr, lCols, emit)
+				probeHashEach(idx, build, buildCols, lr, probeCols, emit)
 			}
 			return rows
 		})
-		return out
+	} else {
+		out.Rows = parallel.Map(len(probe.Rows), par, func(lo, hi int) []types.Row {
+			rows := make([]types.Row, 0, hi-lo)
+			var rr types.Row
+			emit := func(pos int) { rows = append(rows, concatRows(build.Rows[pos], rr)) }
+			for _, row := range probe.Rows[lo:hi] {
+				rr = row
+				probeHashEach(idx, build, buildCols, rr, probeCols, emit)
+			}
+			return rows
+		})
 	}
-	idx := buildHash(l, lCols, par)
-	out.Rows = parallel.Map(len(r.Rows), par, func(lo, hi int) []types.Row {
-		rows := make([]types.Row, 0, hi-lo)
-		var rr types.Row
-		emit := func(pos int) { rows = append(rows, concatRows(l.Rows[pos], rr)) }
-		for _, row := range r.Rows[lo:hi] {
-			rr = row
-			probeHashEach(idx, l, lCols, rr, rCols, emit)
-		}
-		return rows
-	})
+	if sp != nil {
+		sp.ProbeNS = time.Since(t0).Nanoseconds()
+	}
 	return out
 }
 
@@ -189,28 +221,51 @@ func equiPair(e sqlparse.Expr, l, r *Relation) (li, ri int, ok bool) {
 // Cartesian product. The degree of parallelism is resolved from the
 // environment (see HashJoinDegree for an explicit degree).
 func HashJoin(l, r *Relation, lCols, rCols []int) *Relation {
-	return hashJoinInner(l, r, lCols, rCols, 0)
+	return hashJoinInner(l, r, lCols, rCols, 0, nil)
 }
 
 // HashJoinDegree is HashJoin at an explicit degree of parallelism
 // (0 = auto, 1 = serial).
 func HashJoinDegree(l, r *Relation, lCols, rCols []int, par int) *Relation {
-	return hashJoinInner(l, r, lCols, rCols, par)
+	return hashJoinInner(l, r, lCols, rCols, par, nil)
+}
+
+// HashJoinSpan is HashJoinDegree recording build/probe timings, degree, and
+// morsel count into sp (which may be nil).
+func HashJoinSpan(l, r *Relation, lCols, rCols []int, par int, sp *trace.Span) *Relation {
+	return hashJoinInner(l, r, lCols, rCols, par, sp)
 }
 
 // SemiJoin filters l to the rows whose key appears in r (l ⋉ r); the
 // primitive of the paper's reduction phase (Section 4.1).
 func SemiJoin(l *Relation, lCols []int, r *Relation, rCols []int) *Relation {
-	return SemiJoinDegree(l, lCols, r, rCols, 0)
+	return SemiJoinSpan(l, lCols, r, rCols, 0, nil)
 }
 
 // SemiJoinDegree is SemiJoin with an explicit degree of parallelism: the key
 // set is built serially (the build side is typically the smaller input), the
 // probe over l's rows runs in parallel chunks merged in input order.
 func SemiJoinDegree(l *Relation, lCols []int, r *Relation, rCols []int, par int) *Relation {
+	return SemiJoinSpan(l, lCols, r, rCols, par, nil)
+}
+
+// SemiJoinSpan is SemiJoinDegree recording the key-set build and probe
+// wall-time split, degree, and morsel count into sp (nil = no recording, no
+// clock reads).
+func SemiJoinSpan(l *Relation, lCols []int, r *Relation, rCols []int, par int, sp *trace.Span) *Relation {
+	var t0 time.Time
+	if sp != nil {
+		sp.Par = parallel.Degree(par)
+		sp.Morsels = parallel.Chunks(len(l.Rows), par)
+		t0 = time.Now()
+	}
 	keys := types.NewKeySet()
 	for _, rr := range r.Rows {
 		keys.AddKey(rr, rCols)
+	}
+	if sp != nil {
+		sp.BuildNS = time.Since(t0).Nanoseconds()
+		t0 = time.Now()
 	}
 	out := &Relation{Cols: l.Cols}
 	out.Rows = parallel.Map(len(l.Rows), par, func(lo, hi int) []types.Row {
@@ -222,6 +277,9 @@ func SemiJoinDegree(l *Relation, lCols []int, r *Relation, rCols []int, par int)
 		}
 		return rows
 	})
+	if sp != nil {
+		sp.ProbeNS = time.Since(t0).Nanoseconds()
+	}
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"strings"
 
+	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
 
@@ -31,14 +32,20 @@ func JoinAllDP(preds []JoinPred, rels map[string]*Relation) (*Relation, error) {
 // explicit degree of parallelism (0 = auto, 1 = serial). Planning itself
 // stays serial; only plan execution fans out.
 func JoinAllDPDegree(preds []JoinPred, rels map[string]*Relation, par int) (*Relation, error) {
+	return joinAllDP(preds, rels, par, nil)
+}
+
+// joinAllDP is the traced DP join; tr may be nil (disabled tracing).
+func joinAllDP(preds []JoinPred, rels map[string]*Relation, par int, tr *trace.Tracer) (*Relation, error) {
 	if len(rels) < 2 || len(rels) > maxDPRelations {
-		return JoinAllDegree(preds, rels, par)
+		return joinAll(preds, rels, par, tr)
 	}
 	opt, err := newOptimizer(preds, rels)
 	if err != nil {
 		return nil, err
 	}
 	opt.par = par
+	opt.tr = tr
 	root, err := opt.plan()
 	if err != nil {
 		return nil, err
@@ -49,7 +56,9 @@ func JoinAllDPDegree(preds []JoinPred, rels map[string]*Relation, par int) (*Rel
 // optimizer carries the DP state.
 type optimizer struct {
 	// par is the degree of parallelism for executing the chosen plan.
-	par     int
+	par int
+	// tr records one span per executed plan join (nil = disabled).
+	tr *trace.Tracer
 	aliases []string // index -> alias (lower-cased), deterministic order
 	base    []*Relation
 	preds   []JoinPred
@@ -280,7 +289,36 @@ func (o *optimizer) execute(n *planNode) (*Relation, error) {
 		lCols = append(lCols, li)
 		rCols = append(rCols, ri)
 	}
-	return hashJoinInner(l, r, lCols, rCols, o.par), nil
+	var sp *trace.Span
+	if o.tr.Enabled() {
+		op := "hash-join"
+		if len(lCols) == 0 {
+			op = "cross-join"
+		}
+		sp = o.tr.Span(op, o.maskLabel(n.right.mask))
+		sp.Phase = "join"
+		sp.Keys = len(lCols)
+		sp.RowsIn = len(l.Rows)
+		sp.RowsBuild = len(r.Rows)
+	}
+	joined := hashJoinInner(l, r, lCols, rCols, o.par, sp)
+	if sp != nil {
+		sp.RowsOut = len(joined.Rows)
+		o.tr.AddRowsJoined(len(joined.Rows))
+	}
+	return joined, nil
+}
+
+// maskLabel names a plan subtree by its relation aliases, in deterministic
+// index order.
+func (o *optimizer) maskLabel(mask uint32) string {
+	var parts []string
+	for i, a := range o.aliases {
+		if mask&(1<<uint(i)) != 0 {
+			parts = append(parts, a)
+		}
+	}
+	return strings.Join(parts, ",")
 }
 
 // PlanString renders the chosen DP plan for diagnostics; used by tests.

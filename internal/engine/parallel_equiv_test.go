@@ -56,12 +56,12 @@ func TestHashJoinParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	l := bigRelation(rng, "l", 5000, 97)
 	r := bigRelation(rng, "r", 3000, 97)
-	want := hashJoinInner(l, r, []int{1}, []int{1}, 1)
+	want := hashJoinInner(l, r, []int{1}, []int{1}, 1, nil)
 	if len(want.Rows) == 0 {
 		t.Fatal("test setup: join produced no rows")
 	}
 	for _, par := range sweepDegrees {
-		got := hashJoinInner(l, r, []int{1}, []int{1}, par)
+		got := hashJoinInner(l, r, []int{1}, []int{1}, par, nil)
 		identicalRows(t, fmt.Sprintf("hashJoinInner par=%d", par), got, want)
 	}
 }
@@ -70,9 +70,9 @@ func TestHashJoinParallelCrossProduct(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	l := bigRelation(rng, "l", 1200, 7)
 	r := bigRelation(rng, "r", 3, 7)
-	want := hashJoinInner(l, r, nil, nil, 1)
+	want := hashJoinInner(l, r, nil, nil, 1, nil)
 	for _, par := range sweepDegrees {
-		got := hashJoinInner(l, r, nil, nil, par)
+		got := hashJoinInner(l, r, nil, nil, par, nil)
 		identicalRows(t, fmt.Sprintf("cross par=%d", par), got, want)
 	}
 }

@@ -3,10 +3,12 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"resultdb/internal/parallel"
 	"resultdb/internal/sqlparse"
 	"resultdb/internal/storage"
+	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
 
@@ -21,6 +23,11 @@ type Executor struct {
 	// GOMAXPROCS, 1 forces serial execution. Results are identical at any
 	// degree (deterministic morsel merge).
 	Parallelism int
+	// Tracer, when non-nil, records per-operator spans (scan, join,
+	// filter, project cardinalities and timings). Nil (the default) is the
+	// disabled fast path: operators skip all recording on a single nil
+	// check.
+	Tracer *trace.Tracer
 }
 
 // Select evaluates sel and returns the single-table result. RESULTDB
@@ -28,11 +35,20 @@ type Executor struct {
 // the ResultDB flag is ignored so the same AST can be executed both ways.
 func (e *Executor) Select(sel *sqlparse.Select) (*Relation, error) {
 	if hasAggregates(sel.Items) || len(sel.GroupBy) > 0 || sel.Having != nil {
-		return e.selectGrouped(sel)
+		if e.Tracer.Enabled() {
+			e.Tracer.Note("sequential pipeline (non-SPJ query: outer join, aggregate, or computed select list)")
+		}
+		rel, err := e.selectGrouped(sel)
+		// The grouped pipeline evaluates its join input through Select,
+		// which records the inner strategy; the statement as a whole is
+		// the sequential pipeline.
+		e.Tracer.SetStrategy("sequential")
+		return rel, err
 	}
 	if !hasOuterJoin(sel) {
 		spec, err := AnalyzeSPJ(sel, e.Src)
 		if err == nil {
+			e.Tracer.SetStrategy("spj")
 			joined, err := e.RunSPJ(spec)
 			if err != nil {
 				return nil, err
@@ -43,6 +59,13 @@ func (e *Executor) Select(sel *sqlparse.Select) (*Relation, error) {
 			}
 			if sel.Distinct {
 				out = out.Distinct()
+			}
+			if sp := e.Tracer.Span("project", projectionLabel(spec)); sp != nil {
+				sp.RowsIn = len(joined.Rows)
+				sp.RowsOut = len(out.Rows)
+				if sel.Distinct {
+					sp.Detail = "distinct"
+				}
 			}
 			return e.finish(out, sel)
 		}
@@ -87,21 +110,38 @@ func (e *Executor) RunSPJ(spec *SPJSpec) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	join := JoinAllDegree
+	var joined *Relation
 	if e.DPJoinOrder {
-		join = JoinAllDPDegree
+		joined, err = joinAllDP(spec.JoinPreds, rels, e.Parallelism, e.Tracer)
+	} else {
+		joined, err = joinAll(spec.JoinPreds, rels, e.Parallelism, e.Tracer)
 	}
-	joined, err := join(spec.JoinPreds, rels, e.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	if len(spec.Residual) > 0 {
+		before := len(joined.Rows)
 		joined, err = e.filter(joined, sqlparse.AndAll(spec.Residual))
 		if err != nil {
 			return nil, err
 		}
+		if sp := e.Tracer.Span("residual-filter", ""); sp != nil {
+			sp.Phase = "join"
+			sp.Detail = sqlparse.AndAll(spec.Residual).SQL()
+			sp.RowsIn = before
+			sp.RowsOut = len(joined.Rows)
+		}
 	}
 	return joined, nil
+}
+
+// projectionLabel renders the projected attribute list for trace spans.
+func projectionLabel(spec *SPJSpec) string {
+	var proj []string
+	for _, a := range spec.Projection {
+		proj = append(proj, a.String())
+	}
+	return strings.Join(proj, ", ")
 }
 
 // JoinAll joins all relations: start from the smallest, repeatedly add
@@ -113,32 +153,30 @@ func (e *Executor) RunSPJ(spec *SPJSpec) (*Relation, error) {
 // rels is keyed by lower-cased alias. It is also the post-join operator of
 // the paper (Section 6.4): internal/core hands it the reduced relations.
 func JoinAll(preds []JoinPred, rels map[string]*Relation) (*Relation, error) {
-	return joinAllDegreeTrace(preds, rels, 0, nil)
+	return joinAll(preds, rels, 0, nil)
 }
 
 // JoinAllDegree is JoinAll at an explicit degree of parallelism (0 = auto,
 // 1 = serial); each hash join's build is partitioned and its probe chunked
 // across the shared worker pool.
 func JoinAllDegree(preds []JoinPred, rels map[string]*Relation, par int) (*Relation, error) {
-	return joinAllDegreeTrace(preds, rels, par, nil)
+	return joinAll(preds, rels, par, nil)
 }
 
-// JoinAllTrace is JoinAll with an optional step callback receiving one line
-// per join (keys, input and output cardinalities); EXPLAIN uses it.
-func JoinAllTrace(preds []JoinPred, rels map[string]*Relation, trace func(string)) (*Relation, error) {
-	return joinAllDegreeTrace(preds, rels, 0, trace)
-}
-
-func joinAllDegreeTrace(preds []JoinPred, rels map[string]*Relation, par int, trace func(string)) (*Relation, error) {
+func joinAll(preds []JoinPred, rels map[string]*Relation, par int, tr *trace.Tracer) (*Relation, error) {
 	remaining := make(map[string]*Relation, len(rels))
 	for k, v := range rels {
 		remaining[k] = v
 	}
 
-	// Pick the smallest relation as the seed.
+	// Pick the smallest relation as the seed; cardinality ties break towards
+	// the lexicographically smaller alias so the join order (and therefore
+	// every traced cardinality) is deterministic across runs.
 	var curAlias string
 	for alias, rel := range remaining {
-		if curAlias == "" || len(rel.Rows) < len(remaining[curAlias].Rows) {
+		if curAlias == "" ||
+			len(rel.Rows) < len(remaining[curAlias].Rows) ||
+			len(rel.Rows) == len(remaining[curAlias].Rows) && alias < curAlias {
 			curAlias = alias
 		}
 	}
@@ -158,7 +196,8 @@ func joinAllDegreeTrace(preds []JoinPred, rels map[string]*Relation, par int, tr
 
 	for len(remaining) > 0 {
 		// Choose the next relation: smallest among connected ones, else
-		// smallest overall.
+		// smallest overall; ties break towards the smaller alias (see the
+		// seed choice above).
 		next := ""
 		nextConnected := false
 		for alias, rel := range remaining {
@@ -169,6 +208,8 @@ func joinAllDegreeTrace(preds []JoinPred, rels map[string]*Relation, par int, tr
 			case c && !nextConnected:
 				next, nextConnected = alias, c
 			case c == nextConnected && len(rel.Rows) < len(remaining[next].Rows):
+				next = alias
+			case c == nextConnected && len(rel.Rows) == len(remaining[next].Rows) && alias < next:
 				next = alias
 			}
 		}
@@ -203,14 +244,22 @@ func joinAllDegreeTrace(preds []JoinPred, rels map[string]*Relation, par int, tr
 			return nil, err
 		}
 		before := len(cur.Rows)
-		cur = hashJoinInner(cur, nrel, lCols, rCols, par)
-		if trace != nil {
-			kind := "hash join"
+		var sp *trace.Span
+		if tr.Enabled() {
+			op := "hash-join"
 			if len(lCols) == 0 {
-				kind = "cross join"
+				op = "cross-join"
 			}
-			trace(fmt.Sprintf("%s + %s  keys: %d  rows: %d x %d -> %d",
-				kind, next, len(lCols), before, len(nrel.Rows), len(cur.Rows)))
+			sp = tr.Span(op, next)
+			sp.Phase = "join"
+			sp.Keys = len(lCols)
+			sp.RowsIn = before
+			sp.RowsBuild = len(nrel.Rows)
+		}
+		cur = hashJoinInner(cur, nrel, lCols, rCols, par, sp)
+		if sp != nil {
+			sp.RowsOut = len(cur.Rows)
+			tr.AddRowsJoined(len(cur.Rows))
 		}
 		inSet[next] = true
 	}
@@ -239,12 +288,31 @@ func (e *Executor) baseRelation(r RelRef, filters []sqlparse.Expr) (*Relation, e
 	if err != nil {
 		return nil, err
 	}
+	var sp *trace.Span
+	var t0 time.Time
+	if e.Tracer.Enabled() {
+		sp = e.Tracer.Span("scan", r.Table+" AS "+r.Alias)
+		sp.Phase = "scan"
+		sp.Detail = "true"
+		if len(filters) > 0 {
+			sp.Detail = sqlparse.AndAll(filters).SQL()
+		}
+		sp.RowsIn = len(t.Rows)
+		sp.Par = parallel.Degree(e.Parallelism)
+		sp.Morsels = parallel.Chunks(len(t.Rows), e.Parallelism)
+		t0 = time.Now()
+	}
 	rel := &Relation{Cols: make([]ColRef, len(t.Def.Columns))}
 	for i, c := range t.Def.Columns {
 		rel.Cols[i] = ColRef{Rel: r.Alias, Name: c.Name, Kind: c.Type}
 	}
 	if len(filters) == 0 {
 		rel.Rows = t.Rows
+		if sp != nil {
+			sp.RowsOut = len(rel.Rows)
+			sp.DurNS = time.Since(t0).Nanoseconds()
+			e.Tracer.AddRowsScanned(len(rel.Rows))
+		}
 		return rel, nil
 	}
 	b := &binder{rel: rel, sub: e.subRunner()}
@@ -256,6 +324,12 @@ func (e *Executor) baseRelation(r RelRef, filters []sqlparse.Expr) (*Relation, e
 	out.Rows, err = filterRows(t.Rows, check, e.Parallelism)
 	if err != nil {
 		return nil, err
+	}
+	if sp != nil {
+		sp.RowsOut = len(out.Rows)
+		sp.DurNS = time.Since(t0).Nanoseconds()
+		e.Tracer.AddRowsScanned(len(out.Rows))
+		e.Tracer.AddRowsDropped(len(t.Rows) - len(out.Rows))
 	}
 	return out, nil
 }
@@ -310,6 +384,10 @@ func (e *Executor) subRunner() SubqueryRunner {
 // joins, whose result depends on join order), then WHERE, projection,
 // DISTINCT, ORDER BY, LIMIT.
 func (e *Executor) selectSequential(sel *sqlparse.Select) (*Relation, error) {
+	if e.Tracer.Enabled() {
+		e.Tracer.SetStrategy("sequential")
+		e.Tracer.Note("sequential pipeline (non-SPJ query: outer join, aggregate, or computed select list)")
+	}
 	var cur *Relation
 	for _, item := range sel.From {
 		base, err := e.baseRelation(RelRef{Alias: item.Ref.Name(), Table: item.Ref.Table}, nil)
@@ -319,7 +397,7 @@ func (e *Executor) selectSequential(sel *sqlparse.Select) (*Relation, error) {
 		if cur == nil {
 			cur = base
 		} else {
-			cur = hashJoinInner(cur, base, nil, nil, e.Parallelism) // comma join: cross product
+			cur = hashJoinInner(cur, base, nil, nil, e.Parallelism, nil) // comma join: cross product
 		}
 		for _, j := range item.Joins {
 			right, err := e.baseRelation(RelRef{Alias: j.Ref.Name(), Table: j.Ref.Table}, nil)

@@ -78,10 +78,13 @@ type (
 	Rollback struct{}
 )
 
-// Explain is EXPLAIN <select>: report the execution plan (with actual
-// cardinalities; the engine is main-memory, so EXPLAIN executes).
+// Explain is EXPLAIN [ANALYZE] <select>: report the execution plan (with
+// actual cardinalities; the engine is main-memory, so EXPLAIN executes).
+// ANALYZE renders the full operator tree with per-operator timings, parallel
+// degrees, and transfer bytes instead of the compact plan.
 type Explain struct {
-	Query *Select
+	Analyze bool
+	Query   *Select
 }
 
 // JoinType distinguishes inner and left outer joins.

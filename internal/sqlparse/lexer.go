@@ -36,7 +36,7 @@ var keywords = map[string]bool{
 	"DROP": true, "MATERIALIZED": true, "VIEW": true, "IF": true,
 	"EXISTS": true, "INSERT": true, "INTO": true, "VALUES": true,
 	"PRIMARY": true, "KEY": true, "FOREIGN": true, "REFERENCES": true,
-	"BEGIN": true, "TRANSACTION": true, "EXPLAIN": true, "COMMIT": true, "ROLLBACK": true,
+	"BEGIN": true, "TRANSACTION": true, "EXPLAIN": true, "ANALYZE": true, "COMMIT": true, "ROLLBACK": true,
 	"INTEGER": true, "INT": true, "BIGINT": true, "DOUBLE": true,
 	"FLOAT": true, "REAL": true, "TEXT": true, "VARCHAR": true,
 	"CHAR": true, "BOOLEAN": true, "BOOL": true,
@@ -150,7 +150,22 @@ func (l *lexer) lexNumber(start int) error {
 	if strings.HasSuffix(text, ".") {
 		return fmt.Errorf("sqlparse: malformed number %q at offset %d", text, start)
 	}
-	l.emit(tokNumber, text, start)
+	// Optional exponent, [eE][+-]?digits — the notation strconv's shortest
+	// float formatting emits (e.g. 1e-05), so rendered literals re-lex. An
+	// 'e' not followed by a well-formed exponent is left for the next token.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		j := l.pos + 1
+		if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+			j++
+		}
+		if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+			for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				j++
+			}
+			l.pos = j
+		}
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
 	return nil
 }
 

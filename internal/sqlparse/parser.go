@@ -139,11 +139,12 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case "EXPLAIN":
 		p.next()
+		analyze := p.acceptKeyword("ANALYZE")
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Query: sel}, nil
+		return &Explain{Analyze: analyze, Query: sel}, nil
 	case "BEGIN":
 		p.next()
 		p.acceptKeyword("TRANSACTION")
@@ -811,7 +812,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch t.kind {
 	case tokNumber:
 		p.next()
-		if strings.Contains(t.text, ".") {
+		if strings.ContainsAny(t.text, ".eE") {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
 				return nil, p.errorf("bad number %q", t.text)

@@ -2,6 +2,7 @@ package sqlparse
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"resultdb/internal/types"
@@ -12,26 +13,61 @@ func quoteString(s string) string {
 	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
 }
 
+// identNeedsQuoting reports whether s would not survive a render/parse round
+// trip as a bare identifier. The byte-wise scan mirrors lexWord exactly
+// (the lexer classifies bytes, not runes), and keywords must be quoted or
+// they change token kind on re-parse.
+func identNeedsQuoting(s string) bool {
+	if s == "" || !isIdentStart(rune(s[0])) {
+		return true
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentPart(rune(s[i])) {
+			return true
+		}
+	}
+	return keywords[strings.ToUpper(s)]
+}
+
+// quoteIdent renders an identifier, double-quoting it (with "" escaping)
+// only when a bare rendering would not re-lex to the same name.
+func quoteIdent(s string) string {
+	if identNeedsQuoting(s) {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
 // renderValue renders a literal value as SQL.
 func renderValue(v types.Value) string {
-	if v.Kind() == types.KindText {
+	switch v.Kind() {
+	case types.KindText:
 		return quoteString(v.Text())
-	}
-	if v.Kind() == types.KindBool {
+	case types.KindBool:
 		if v.Bool() {
 			return "TRUE"
 		}
 		return "FALSE"
+	case types.KindFloat:
+		// Shortest round-trippable form, but keep a mark of floatness
+		// (".0") when the shortest form looks like an integer, so the
+		// literal re-parses to the same value AND the same kind.
+		s := strconv.FormatFloat(v.Float(), 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	default:
+		return v.String()
 	}
-	return v.String()
 }
 
 // SQL renders the column reference.
 func (c *ColumnRef) SQL() string {
 	if c.Table != "" {
-		return c.Table + "." + c.Column
+		return quoteIdent(c.Table) + "." + quoteIdent(c.Column)
 	}
-	return c.Column
+	return quoteIdent(c.Column)
 }
 
 // SQL renders the literal.
@@ -53,12 +89,14 @@ func (b *Binary) SQL() string {
 	return l + " " + b.Op.String() + " " + r
 }
 
-// SQL renders the unary expression.
+// SQL renders the unary expression. Both forms parenthesize the operand:
+// NOT for precedence, and minus because "-" followed by a negative-literal
+// rendering would otherwise fuse into a "--" comment marker.
 func (u *Unary) SQL() string {
 	if u.Op == "NOT" {
 		return "NOT (" + u.E.SQL() + ")"
 	}
-	return u.Op + u.E.SQL()
+	return u.Op + "(" + u.E.SQL() + ")"
 }
 
 // SQL renders the BETWEEN predicate.
@@ -112,20 +150,20 @@ func (i *IsNull) SQL() string {
 // SQL renders the function call.
 func (f *FuncCall) SQL() string {
 	if f.Star {
-		return f.Name + "(*)"
+		return quoteIdent(f.Name) + "(*)"
 	}
 	parts := make([]string, len(f.Args))
 	for i, a := range f.Args {
 		parts[i] = a.SQL()
 	}
-	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+	return quoteIdent(f.Name) + "(" + strings.Join(parts, ", ") + ")"
 }
 
 func (t TableRef) sql() string {
 	if t.Alias != "" && t.Alias != t.Table {
-		return t.Table + " AS " + t.Alias
+		return quoteIdent(t.Table) + " AS " + quoteIdent(t.Alias)
 	}
-	return t.Table
+	return quoteIdent(t.Table)
 }
 
 // SQL renders the SELECT statement.
@@ -147,13 +185,13 @@ func (s *Select) SQL() string {
 		}
 		switch {
 		case item.Star && item.Table != "":
-			b.WriteString(item.Table + ".*")
+			b.WriteString(quoteIdent(item.Table) + ".*")
 		case item.Star:
 			b.WriteString("*")
 		default:
 			b.WriteString(item.Expr.SQL())
 			if item.Alias != "" {
-				b.WriteString(" AS " + item.Alias)
+				b.WriteString(" AS " + quoteIdent(item.Alias))
 			}
 		}
 	}
@@ -213,13 +251,13 @@ func (s *Select) SQL() string {
 // SQL renders CREATE TABLE.
 func (c *CreateTable) SQL() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "CREATE TABLE %s (", c.Name)
+	fmt.Fprintf(&b, "CREATE TABLE %s (", quoteIdent(c.Name))
 	inlinePK := map[string]bool{}
 	for i, col := range c.Columns {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%s %s", col.Name, col.Type.String())
+		fmt.Fprintf(&b, "%s %s", quoteIdent(col.Name), col.Type.String())
 		if col.PrimaryKey {
 			b.WriteString(" PRIMARY KEY")
 			inlinePK[col.Name] = true
@@ -230,7 +268,7 @@ func (c *CreateTable) SQL() string {
 	var pkOut []string
 	for _, k := range c.PrimaryKey {
 		if !inlinePK[k] {
-			pkOut = append(pkOut, k)
+			pkOut = append(pkOut, quoteIdent(k))
 		}
 	}
 	if len(pkOut) > 0 {
@@ -238,39 +276,48 @@ func (c *CreateTable) SQL() string {
 	}
 	for _, fk := range c.ForeignKeys {
 		fmt.Fprintf(&b, ", FOREIGN KEY (%s) REFERENCES %s (%s)",
-			strings.Join(fk.Columns, ", "), fk.RefTable, strings.Join(fk.RefColumns, ", "))
+			joinIdents(fk.Columns), quoteIdent(fk.RefTable), joinIdents(fk.RefColumns))
 	}
 	b.WriteString(")")
 	return b.String()
 }
 
+// joinIdents renders a comma-separated identifier list, quoting as needed.
+func joinIdents(names []string) string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = quoteIdent(n)
+	}
+	return strings.Join(out, ", ")
+}
+
 // SQL renders DROP TABLE.
 func (d *DropTable) SQL() string {
 	if d.IfExists {
-		return "DROP TABLE IF EXISTS " + d.Name
+		return "DROP TABLE IF EXISTS " + quoteIdent(d.Name)
 	}
-	return "DROP TABLE " + d.Name
+	return "DROP TABLE " + quoteIdent(d.Name)
 }
 
 // SQL renders CREATE MATERIALIZED VIEW.
 func (c *CreateMaterializedView) SQL() string {
-	return "CREATE MATERIALIZED VIEW " + c.Name + " AS " + c.Query.SQL()
+	return "CREATE MATERIALIZED VIEW " + quoteIdent(c.Name) + " AS " + c.Query.SQL()
 }
 
 // SQL renders DROP MATERIALIZED VIEW.
 func (d *DropMaterializedView) SQL() string {
 	if d.IfExists {
-		return "DROP MATERIALIZED VIEW IF EXISTS " + d.Name
+		return "DROP MATERIALIZED VIEW IF EXISTS " + quoteIdent(d.Name)
 	}
-	return "DROP MATERIALIZED VIEW " + d.Name
+	return "DROP MATERIALIZED VIEW " + quoteIdent(d.Name)
 }
 
 // SQL renders INSERT.
 func (i *Insert) SQL() string {
 	var b strings.Builder
-	b.WriteString("INSERT INTO " + i.Table)
+	b.WriteString("INSERT INTO " + quoteIdent(i.Table))
 	if len(i.Columns) > 0 {
-		b.WriteString(" (" + strings.Join(i.Columns, ", ") + ")")
+		b.WriteString(" (" + joinIdents(i.Columns) + ")")
 	}
 	b.WriteString(" VALUES ")
 	for r, row := range i.Rows {
@@ -289,8 +336,13 @@ func (i *Insert) SQL() string {
 	return b.String()
 }
 
-// SQL renders EXPLAIN.
-func (e *Explain) SQL() string { return "EXPLAIN " + e.Query.SQL() }
+// SQL renders EXPLAIN [ANALYZE].
+func (e *Explain) SQL() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Query.SQL()
+	}
+	return "EXPLAIN " + e.Query.SQL()
+}
 
 // SQL renders BEGIN.
 func (*Begin) SQL() string { return "BEGIN TRANSACTION" }

@@ -1,0 +1,288 @@
+// Package trace is the execution-observability layer of the reproduction:
+// a zero-dependency tracer recording per-operator spans (cardinalities,
+// build/probe wall time, parallel degree, morsel counts) and a handful of
+// atomic whole-query counters while a query runs.
+//
+// Design rules:
+//
+//   - Off by default, near-zero cost when disabled: every method on a nil
+//     *Tracer is a no-op (single nil check), so operators thread an optional
+//     tracer without branching on a config struct, and per-row hot loops
+//     never touch the tracer at all — spans are recorded once per operator.
+//   - Race-safe: span registration takes a mutex, whole-query counters are
+//     atomics. Span field writes happen only on the coordinating goroutine
+//     (operators record a span after their parallel section completes), so
+//     the recorded counts are in deterministic program order.
+//   - Deterministic counts: rows, keys and bytes in a trace are identical at
+//     any degree of parallelism. Wall times, the degree itself, and morsel
+//     counts may differ between runs; CountsFingerprint excludes them.
+//
+// EXPLAIN, EXPLAIN ANALYZE, db.QueryWithTrace, and the -trace CLI flags all
+// render from this one structure (see render.go), so there is exactly one
+// plan-rendering path.
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span records one operator execution. Fields are filled by the operator
+// after it finishes; times are nanoseconds so the struct marshals without
+// custom encoders.
+type Span struct {
+	// Op identifies the operator: scan, hash-join, cross-join, semi-join,
+	// bloom-semi-join, fold, root, residual-filter, project, decompose,
+	// output, encode, note.
+	Op string `json:"op"`
+	// Label names the operator's target (relation alias, "a ⋉ b", ...).
+	Label string `json:"label,omitempty"`
+	// Phase groups spans into plan stages: scan, join, fold,
+	// bloom-prefilter, bottom-up, top-down, decompose, output, wire.
+	Phase string `json:"phase,omitempty"`
+	// Detail carries operator-specific text (filter SQL, projection list,
+	// note text).
+	Detail string `json:"detail,omitempty"`
+
+	// RowsIn is the cardinality of the primary (probe/outer) input.
+	RowsIn int `json:"rows_in"`
+	// RowsBuild is the cardinality of the secondary (build/source) input,
+	// when the operator has one.
+	RowsBuild int `json:"rows_build,omitempty"`
+	// RowsOut is the output cardinality.
+	RowsOut int `json:"rows_out"`
+	// Keys is the number of equi-join key columns of a join.
+	Keys int `json:"keys,omitempty"`
+	// Bytes is the wire size attributed to this span (output and encode
+	// spans).
+	Bytes int `json:"bytes,omitempty"`
+
+	// Par is the effective degree of parallelism the operator ran at.
+	Par int `json:"par,omitempty"`
+	// Morsels is the number of row chunks the probe/scan was split into.
+	Morsels int `json:"morsels,omitempty"`
+	// BuildNS and ProbeNS split a join's wall time into its two phases.
+	BuildNS int64 `json:"build_ns,omitempty"`
+	// ProbeNS is the probe/apply phase wall time.
+	ProbeNS int64 `json:"probe_ns,omitempty"`
+	// DurNS is the operator's total wall time when the build/probe split
+	// does not apply.
+	DurNS int64 `json:"dur_ns,omitempty"`
+}
+
+// Counters are whole-query totals, bumped atomically so operators may update
+// them from any goroutine.
+type Counters struct {
+	RowsScanned int64 `json:"rows_scanned"`
+	RowsJoined  int64 `json:"rows_joined"`
+	RowsDropped int64 `json:"rows_dropped"`
+	RowsOut     int64 `json:"rows_out"`
+	BytesOut    int64 `json:"bytes_out"`
+}
+
+// Tracer collects spans and counters for one query execution. The zero value
+// is not used directly; create one with New. A nil *Tracer is the disabled
+// tracer: every method is a cheap no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []*Span
+	start time.Time
+
+	query       string
+	mode        string
+	strategy    string
+	parallelism int
+	outputs     []string
+	stats       string
+
+	rowsScanned atomic.Int64
+	rowsJoined  atomic.Int64
+	rowsDropped atomic.Int64
+	rowsOut     atomic.Int64
+	bytesOut    atomic.Int64
+}
+
+// New returns an enabled tracer for one query execution.
+func New(query string) *Tracer {
+	return &Tracer{query: query, start: time.Now()}
+}
+
+// Enabled reports whether the tracer records anything. The nil receiver is
+// the disabled fast path.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Span registers and returns a new span; the caller fills its fields before
+// the query finishes. Returns nil on a disabled tracer.
+func (t *Tracer) Span(op, label string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{Op: op, Label: label}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Note records a free-text plan annotation in program order.
+func (t *Tracer) Note(text string) {
+	if t == nil {
+		return
+	}
+	sp := t.Span("note", "")
+	sp.Detail = text
+}
+
+// SetQuery overrides the traced query text.
+func (t *Tracer) SetQuery(q string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.query = q
+	t.mu.Unlock()
+}
+
+// SetMode records the query mode: single-table, resultdb,
+// resultdb-preserving.
+func (t *Tracer) SetMode(m string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.mode = m
+	t.mu.Unlock()
+}
+
+// SetStrategy records the execution strategy: spj, sequential, semijoin,
+// decompose.
+func (t *Tracer) SetStrategy(s string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.strategy = s
+	t.mu.Unlock()
+}
+
+// SetParallelism records the effective degree of parallelism.
+func (t *Tracer) SetParallelism(p int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.parallelism = p
+	t.mu.Unlock()
+}
+
+// SetOutputs records the output relation aliases in result order.
+func (t *Tracer) SetOutputs(aliases []string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.outputs = append([]string(nil), aliases...)
+	t.mu.Unlock()
+}
+
+// SetStats records the core algorithm's one-line stats summary.
+func (t *Tracer) SetStats(s string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stats = s
+	t.mu.Unlock()
+}
+
+// AddRowsScanned bumps the scanned-rows counter.
+func (t *Tracer) AddRowsScanned(n int) {
+	if t == nil {
+		return
+	}
+	t.rowsScanned.Add(int64(n))
+}
+
+// AddRowsJoined bumps the join-output counter.
+func (t *Tracer) AddRowsJoined(n int) {
+	if t == nil {
+		return
+	}
+	t.rowsJoined.Add(int64(n))
+}
+
+// AddRowsDropped bumps the semi-join/filter drop counter.
+func (t *Tracer) AddRowsDropped(n int) {
+	if t == nil {
+		return
+	}
+	t.rowsDropped.Add(int64(n))
+}
+
+// AddRowsOut bumps the result-rows counter.
+func (t *Tracer) AddRowsOut(n int) {
+	if t == nil {
+		return
+	}
+	t.rowsOut.Add(int64(n))
+}
+
+// AddBytes bumps the result-bytes counter.
+func (t *Tracer) AddBytes(n int) {
+	if t == nil {
+		return
+	}
+	t.bytesOut.Add(int64(n))
+}
+
+// Trace is an immutable snapshot of a finished execution; the unit the JSON
+// emitters and the EXPLAIN renderers consume.
+type Trace struct {
+	Query       string   `json:"query,omitempty"`
+	Mode        string   `json:"mode,omitempty"`
+	Strategy    string   `json:"strategy,omitempty"`
+	Parallelism int      `json:"parallelism,omitempty"`
+	Outputs     []string `json:"outputs,omitempty"`
+	Stats       string   `json:"stats,omitempty"`
+	WallNS      int64    `json:"wall_ns"`
+	Counters    Counters `json:"counters"`
+	Spans       []Span   `json:"spans"`
+}
+
+// Finish snapshots the tracer into a Trace. Returns nil on a disabled
+// tracer. The tracer must not record further spans afterwards.
+func (t *Tracer) Finish() *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := &Trace{
+		Query:       t.query,
+		Mode:        t.mode,
+		Strategy:    t.strategy,
+		Parallelism: t.parallelism,
+		Outputs:     append([]string(nil), t.outputs...),
+		Stats:       t.stats,
+		WallNS:      time.Since(t.start).Nanoseconds(),
+		Counters: Counters{
+			RowsScanned: t.rowsScanned.Load(),
+			RowsJoined:  t.rowsJoined.Load(),
+			RowsDropped: t.rowsDropped.Load(),
+			RowsOut:     t.rowsOut.Load(),
+			BytesOut:    t.bytesOut.Load(),
+		},
+		Spans: make([]Span, len(t.spans)),
+	}
+	for i, sp := range t.spans {
+		tr.Spans[i] = *sp
+	}
+	return tr
+}
+
+// JSON marshals the trace (indented, stable field order).
+func (tr *Trace) JSON() ([]byte, error) {
+	return json.MarshalIndent(tr, "", "  ")
+}

@@ -13,6 +13,7 @@ import (
 
 	"resultdb/internal/db"
 	"resultdb/internal/engine"
+	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
 
@@ -109,6 +110,13 @@ func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
 // EncodeResult serializes a result: all of its sets plus, when present, the
 // shipped post-join plan (the paper's subdatabase-snapshot extension).
 func EncodeResult(r *db.Result) []byte {
+	return EncodeResultTraced(r, nil)
+}
+
+// EncodeResultTraced is EncodeResult recording one "encode" span per result
+// set (rows in, exact wire bytes contributed by the set) plus the trace's
+// bytes-out counter; tr may be nil (disabled, zero extra cost).
+func EncodeResultTraced(r *db.Result, tr *trace.Tracer) []byte {
 	e := NewEncoder()
 	e.uvarint(magic)
 	e.uvarint(version)
@@ -119,10 +127,24 @@ func EncodeResult(r *db.Result) []byte {
 	e.uvarint(flags)
 	e.uvarint(uint64(len(r.Sets)))
 	for _, set := range r.Sets {
+		before := e.Len()
 		e.encodeSet(set)
+		if sp := tr.Span("encode", set.Name); sp != nil {
+			sp.Phase = "wire"
+			sp.RowsIn = len(set.Rows)
+			sp.RowsOut = len(set.Rows)
+			sp.Bytes = e.Len() - before
+			tr.AddBytes(e.Len() - before)
+		}
 	}
 	if r.PostJoinPlan != nil {
+		before := e.Len()
 		e.encodePlan(r.PostJoinPlan)
+		if sp := tr.Span("encode", "post-join plan"); sp != nil {
+			sp.Phase = "wire"
+			sp.Bytes = e.Len() - before
+			tr.AddBytes(e.Len() - before)
+		}
 	}
 	return e.Bytes()
 }
@@ -239,6 +261,24 @@ func (d *Decoder) value() (types.Value, error) {
 	}
 }
 
+// count reads an element count and bounds it by the bytes actually left in
+// the payload (each element costs at least minBytes on the wire), so hostile
+// headers cannot drive huge allocations or long loops before the truncation
+// is discovered.
+func (d *Decoder) count(minBytes int, what string) (int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(d.Remaining()/minBytes) {
+		return 0, fmt.Errorf("wire: %s count %d exceeds remaining payload (%d bytes)", what, n, d.Remaining())
+	}
+	return int(n), nil
+}
+
 // DecodeResult parses a payload produced by EncodeResult.
 func DecodeResult(buf []byte) (*db.Result, error) {
 	d := NewDecoder(buf)
@@ -260,12 +300,13 @@ func DecodeResult(buf []byte) (*db.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	nSets, err := d.uvarint()
+	// A set costs at least 3 bytes (empty name, zero columns, zero rows).
+	nSets, err := d.count(3, "result set")
 	if err != nil {
 		return nil, err
 	}
 	res := &db.Result{}
-	for i := uint64(0); i < nSets; i++ {
+	for i := 0; i < nSets; i++ {
 		set, err := d.decodeSet()
 		if err != nil {
 			return nil, err
@@ -287,11 +328,11 @@ func DecodeResult(buf []byte) (*db.Result, error) {
 
 func (d *Decoder) decodePlan() (*db.PostJoinPlan, error) {
 	plan := &db.PostJoinPlan{}
-	nPreds, err := d.uvarint()
+	nPreds, err := d.count(4, "join predicate") // four length-prefixed strings
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < nPreds; i++ {
+	for i := 0; i < nPreds; i++ {
 		var j engine.JoinPred
 		if j.LeftRel, err = d.str(); err != nil {
 			return nil, err
@@ -307,11 +348,11 @@ func (d *Decoder) decodePlan() (*db.PostJoinPlan, error) {
 		}
 		plan.Preds = append(plan.Preds, j)
 	}
-	nProj, err := d.uvarint()
+	nProj, err := d.count(2, "projection attr") // two length-prefixed strings
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < nProj; i++ {
+	for i := 0; i < nProj; i++ {
 		var a engine.Attr
 		if a.Rel, err = d.str(); err != nil {
 			return nil, err
@@ -329,23 +370,26 @@ func (d *Decoder) decodeSet() (*db.ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	nCols, err := d.uvarint()
+	nCols, err := d.count(1, "column") // a column name costs >= 1 byte
 	if err != nil {
 		return nil, err
 	}
 	set := &db.ResultSet{Name: name}
-	for i := uint64(0); i < nCols; i++ {
+	for i := 0; i < nCols; i++ {
 		c, err := d.str()
 		if err != nil {
 			return nil, err
 		}
 		set.Columns = append(set.Columns, c)
 	}
-	nRows, err := d.uvarint()
+	nRows, err := d.count(nCols, "row") // a row costs >= 1 byte per value
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < nRows; i++ {
+	if nCols == 0 && nRows > 0 {
+		return nil, fmt.Errorf("wire: %d rows in a zero-column set", nRows)
+	}
+	for i := 0; i < nRows; i++ {
 		row := make(types.Row, nCols)
 		for j := range row {
 			row[j], err = d.value()

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"resultdb/internal/db"
+	"resultdb/internal/engine"
+	"resultdb/internal/types"
+)
+
+// fuzzSeedResult builds a representative subdatabase result: two sets (all
+// five value kinds, NaN and -0.0 included) plus a shipped post-join plan.
+func fuzzSeedResult() *db.Result {
+	nan := types.NewFloat(0)
+	{
+		// Build NaN without importing math in a way the encoder must preserve
+		// bit-for-bit (0/0).
+		zero := 0.0
+		nan = types.NewFloat(zero / zero)
+	}
+	return &db.Result{
+		Sets: []*db.ResultSet{
+			{
+				Name:    "c",
+				Columns: []string{"id", "name", "score"},
+				Rows: []types.Row{
+					{types.NewInt(1), types.NewText("Ann"), types.NewFloat(1.5)},
+					{types.NewInt(-7), types.NewText("it's"), nan},
+					{types.Null(), types.NewText(""), types.NewFloat(0)},
+				},
+			},
+			{
+				Name:    "p",
+				Columns: []string{"ok"},
+				Rows:    []types.Row{{types.NewBool(true)}, {types.NewBool(false)}},
+			},
+		},
+		PostJoinPlan: &db.PostJoinPlan{
+			Preds:      []engine.JoinPred{{LeftRel: "c", LeftCol: "id", RightRel: "o", RightCol: "cust_id"}},
+			Projection: []engine.Attr{{Rel: "c", Col: "name"}, {Rel: "p", Col: "ok"}},
+		},
+	}
+}
+
+// FuzzEncodeDecode throws arbitrary bytes at DecodeResult and checks the
+// wire format's two safety contracts:
+//
+//  1. the decoder never panics and never over-allocates on hostile counts
+//     (it returns an error instead), and
+//  2. decode is idempotent through the codec: if a payload decodes, then
+//     re-encoding the result and decoding again reproduces the same result,
+//     verified by byte-comparing the two canonical encodings. (The raw input
+//     itself may differ from the re-encoding — varints have non-minimal
+//     forms — so decode-equality, not byte-equality of the input, is the
+//     invariant.)
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(EncodeResult(fuzzSeedResult()))
+	f.Add(EncodeResult(&db.Result{}))
+	f.Add(EncodeResult(&db.Result{Sets: []*db.ResultSet{{Name: "empty"}}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xa1, 0x84, 0x90, 0x92, 0x05}) // bare magic, then truncation
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeResult(data) // must never panic
+		if err != nil {
+			return
+		}
+		enc := EncodeResult(res)
+		res2, err := DecodeResult(enc)
+		if err != nil {
+			t.Fatalf("re-encoded payload does not decode: %v", err)
+		}
+		if enc2 := EncodeResult(res2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("decode/encode not idempotent:\nfirst:  %x\nsecond: %x", enc, enc2)
+		}
+	})
+}
+
+// TestDecodeRejectsHostileCounts locks the allocation bounds: headers that
+// announce more elements than the payload could possibly hold must error
+// without allocating row storage for them.
+func TestDecodeRejectsHostileCounts(t *testing.T) {
+	base := EncodeResult(fuzzSeedResult())
+	// Sanity: the untampered payload round-trips.
+	if _, err := DecodeResult(base); err != nil {
+		t.Fatalf("seed payload does not decode: %v", err)
+	}
+	e := NewEncoder()
+	e.uvarint(magic)
+	e.uvarint(version)
+	e.uvarint(0) // flags
+	e.uvarint(1) // one set
+	e.str("s")
+	e.uvarint(1 << 40) // columns: absurd
+	if _, err := DecodeResult(e.Bytes()); err == nil {
+		t.Fatal("absurd column count was accepted")
+	}
+	e = NewEncoder()
+	e.uvarint(magic)
+	e.uvarint(version)
+	e.uvarint(0)
+	e.uvarint(1)
+	e.str("s")
+	e.uvarint(1)
+	e.str("a")
+	e.uvarint(1 << 50) // rows: absurd
+	if _, err := DecodeResult(e.Bytes()); err == nil {
+		t.Fatal("absurd row count was accepted")
+	}
+	e = NewEncoder()
+	e.uvarint(magic)
+	e.uvarint(version)
+	e.uvarint(0)
+	e.uvarint(1)
+	e.str("s")
+	e.uvarint(0) // zero columns...
+	e.uvarint(2) // ...but two rows
+	if _, err := DecodeResult(e.Bytes()); err == nil {
+		t.Fatal("rows in a zero-column set were accepted")
+	}
+}

@@ -1,9 +1,11 @@
 #!/bin/sh
 # verify.sh — repo verification gate.
 #
-# Runs static checks, a full build, the complete test suite, and the race
+# Runs static checks, a full build, the complete test suite, the race
 # detector over the concurrency-sensitive packages (the morsel-parallel
-# execution layer and its two main consumers).
+# execution layer, its two main consumers, and the tracer), a short fuzzing
+# pass over the two byte-hostile surfaces (SQL text in, wire bytes in), and
+# the tracer overhead guard.
 set -eu
 
 cd "$(dirname "$0")"
@@ -17,7 +19,30 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel, engine, core, bloom)"
-go test -race ./internal/parallel ./internal/engine ./internal/core ./internal/bloom
+echo "== go test -race (parallel, engine, core, bloom, trace, db)"
+go test -race ./internal/parallel ./internal/engine ./internal/core \
+	./internal/bloom ./internal/trace ./internal/db
+
+echo "== fuzz smoke (10s per target)"
+go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
+go test -run '^$' -fuzz FuzzEncodeDecode -fuzztime 10s ./internal/wire
+
+echo "== tracer overhead guard"
+# The disabled (nil) tracer path is guarded structurally — it must not
+# allocate at all (TestNilTracerCostsNothing, run by the suite above, its
+# nominal cost is a nil check, well under 2% of BenchmarkParallelJoin16b).
+# Here we additionally bound the cost of *enabled* tracing on the heaviest
+# acyclic query's plan; the 1.20 gate is deliberately looser than the
+# nominal <2% so scheduler noise on shared CI boxes cannot flake the build.
+bench_out=$(go test -run '^$' -bench BenchmarkTracerOverhead16b -benchtime 5x .)
+echo "$bench_out"
+echo "$bench_out" | awk '
+	$1 ~ /\/off/ { off = $3 }
+	$1 ~ /\/on/  { on = $3 }
+	END {
+		if (off == 0 || on == 0) { print "FAIL: benchmark output missing"; exit 1 }
+		printf "tracer on/off time ratio: %.3f\n", on / off
+		if (on / off > 1.20) { print "FAIL: tracing overhead exceeds budget"; exit 1 }
+	}'
 
 echo "verify.sh: all checks passed"
