@@ -11,6 +11,7 @@ package resultdb_test
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -463,5 +464,46 @@ func BenchmarkSSBFlights(b *testing.B) {
 			}
 			b.ReportMetric(best, "bestCompression")
 		}
+	}
+}
+
+// BenchmarkCacheHitJOB measures the semantic result cache on JOB RESULTDB
+// queries: "cold" clears the cache every iteration (full execution + fill),
+// "warm" serves every iteration from the cache. The cold/warm ratio is the
+// cache's payoff; the acceptance bar is >= 10x on at least one query
+// (results/cache-bench.txt records a sweep).
+func BenchmarkCacheHitJOB(b *testing.B) {
+	d := db.New()
+	if err := job.Load(d, job.Config{Scale: benchScale, Seed: 42}); err != nil {
+		b.Fatal(err)
+	}
+	d.EnableCache(db.DefaultCacheBudget)
+	for _, name := range []string{"3c", "9c", "16b"} {
+		q, err := job.QueryByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sql := "SELECT RESULTDB" + strings.TrimPrefix(strings.TrimSpace(q.SQL), "SELECT")
+		b.Run(name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.ClearCache()
+				if _, err := d.Exec(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/warm", func(b *testing.B) {
+			if _, err := d.Exec(sql); err != nil { // prime
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Exec(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"resultdb/internal/bench"
+	"resultdb/internal/db"
 	"resultdb/internal/parallel"
 	"resultdb/internal/sqlparse"
 	"resultdb/internal/trace"
@@ -33,16 +34,17 @@ func main() {
 		queries   = flag.String("queries", "", "comma-separated JOB query names (default: experiment's own set)")
 		par       = flag.Int("par", 0, "degree of intra-query parallelism (0 = auto via RESULTDB_PARALLELISM or GOMAXPROCS, 1 = serial)")
 		traceFile = flag.String("trace", "", "write JSON execution traces of the selected RESULTDB queries to this file and exit")
+		cacheRep  = flag.Bool("cache", false, "report cold vs warm timings with the semantic result cache and exit")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *reps, *mbps, *queries, *par, *traceFile); err != nil {
+	if err := run(*exp, *scale, *reps, *mbps, *queries, *par, *traceFile, *cacheRep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, reps int, mbps float64, queryList string, par int, traceFile string) error {
+func run(exp string, scale float64, reps int, mbps float64, queryList string, par int, traceFile string, cacheRep bool) error {
 	var names []string
 	if queryList != "" {
 		names = strings.Split(queryList, ",")
@@ -51,7 +53,7 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string, pa
 		}
 	}
 
-	needsJOB := exp != "fig7" && exp != "ssb" || traceFile != ""
+	needsJOB := exp != "fig7" && exp != "ssb" || traceFile != "" || cacheRep
 	var env *bench.Env
 	if needsJOB {
 		start := time.Now()
@@ -68,6 +70,9 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string, pa
 
 	if traceFile != "" {
 		return writeTraces(env, names, traceFile)
+	}
+	if cacheRep {
+		return cacheReport(env, names)
 	}
 
 	want := func(name string) bool { return exp == name || exp == "all" }
@@ -153,6 +158,57 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string, pa
 		}
 		fmt.Println(bench.FormatAblation("Ablation: Bloom prefilter", rows, variants))
 	}
+	return nil
+}
+
+// cacheReport runs each selected JOB query as SELECT RESULTDB twice against
+// the semantic result cache — cold (cache just cleared) and warm (best
+// repetition served from the cache) — and prints the per-query speedup.
+func cacheReport(env *bench.Env, names []string) error {
+	qs := job.Queries()
+	if len(names) > 0 {
+		var picked []job.Query
+		for _, name := range names {
+			q, err := job.QueryByName(name)
+			if err != nil {
+				return err
+			}
+			picked = append(picked, q)
+		}
+		qs = picked
+	}
+	env.DB.EnableCache(db.DefaultCacheBudget)
+	reps := env.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Println("Semantic result cache: cold vs warm (SELECT RESULTDB)")
+	fmt.Printf("%-6s %12s %12s %10s\n", "query", "cold", "warm", "speedup")
+	for _, q := range qs {
+		sql := "SELECT RESULTDB" + strings.TrimPrefix(strings.TrimSpace(q.SQL), "SELECT")
+		env.DB.ClearCache()
+		start := time.Now()
+		if _, err := env.DB.Exec(sql); err != nil {
+			return fmt.Errorf("query %s: %w", q.Name, err)
+		}
+		cold := time.Since(start)
+		var warm time.Duration
+		for r := 0; r < reps; r++ {
+			start = time.Now()
+			if _, err := env.DB.Exec(sql); err != nil {
+				return fmt.Errorf("query %s: %w", q.Name, err)
+			}
+			if e := time.Since(start); r == 0 || e < warm {
+				warm = e
+			}
+		}
+		speedup := float64(cold) / float64(warm)
+		fmt.Printf("%-6s %10.3fms %10.4fms %9.1fx\n",
+			q.Name, float64(cold.Nanoseconds())/1e6, float64(warm.Nanoseconds())/1e6, speedup)
+	}
+	st := env.DB.CacheStats()
+	fmt.Printf("\ncache stats: %d hits, %d misses, %d entries, %d bytes in budget %d\n",
+		st.Hits, st.Misses, st.Entries, st.Bytes, st.Budget)
 	return nil
 }
 

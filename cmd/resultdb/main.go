@@ -11,8 +11,8 @@
 //
 // Shell meta-commands: \d (list tables), \d NAME (describe), \timing
 // (toggle timings), \trace (toggle per-query JSON execution traces),
-// \strategy semijoin|decompose, \save FILE and \open FILE (binary database
-// snapshots), \q (quit).
+// \strategy semijoin|decompose, \cache [on|off|clear|SIZE] (semantic result
+// cache), \save FILE and \open FILE (binary database snapshots), \q (quit).
 package main
 
 import (
@@ -171,6 +171,33 @@ func (s *shell) meta(cmd string) bool {
 	case "\\trace":
 		s.trace = !s.trace
 		fmt.Fprintf(s.out, "trace %v\n", s.trace)
+	case "\\cache":
+		if len(fields) == 2 {
+			switch fields[1] {
+			case "on":
+				s.db.EnableCache(db.DefaultCacheBudget)
+			case "off":
+				s.db.DisableCache()
+			case "clear":
+				s.db.ClearCache()
+				fmt.Fprintln(s.out, "cache cleared")
+			default:
+				// \cache 256MB — enable with an explicit budget.
+				if budget, err := db.ParseByteSize(fields[1]); err == nil {
+					s.db.EnableCache(budget)
+				} else {
+					fmt.Fprintln(s.out, "usage: \\cache [on|off|clear|SIZE]")
+					return false
+				}
+			}
+		}
+		if s.db.CacheEnabled() {
+			st := s.db.CacheStats()
+			fmt.Fprintf(s.out, "cache on: %d entries, %d/%d bytes, %d hits, %d misses, %d invalidations, %d evictions, %d collapsed\n",
+				st.Entries, st.Bytes, st.Budget, st.Hits, st.Misses, st.Invalidations, st.Evictions, st.Collapsed)
+		} else {
+			fmt.Fprintln(s.out, "cache off")
+		}
 	case "\\strategy":
 		if len(fields) == 2 {
 			switch fields[1] {
@@ -221,7 +248,7 @@ func (s *shell) meta(cmd string) bool {
 			fmt.Fprintf(s.out, "%-24s %8d rows\n", name, t.Len())
 		}
 	default:
-		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\trace, \\strategy, \\q")
+		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\trace, \\strategy, \\cache, \\q")
 	}
 	return false
 }

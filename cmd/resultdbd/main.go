@@ -6,6 +6,7 @@
 // Usage:
 //
 //	resultdbd -addr :7483 -workload job -scale 0.25
+//	resultdbd -cache -cache-budget 256MB -max-conns 64 -read-timeout 5m
 package main
 
 import (
@@ -24,13 +25,26 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7483", "listen address")
-		workload = flag.String("workload", "job", "preload a workload: job | star | hierarchy | none")
-		scale    = flag.Float64("scale", 0.25, "JOB workload scale factor")
+		addr         = flag.String("addr", ":7483", "listen address")
+		workload     = flag.String("workload", "job", "preload a workload: job | star | hierarchy | none")
+		scale        = flag.Float64("scale", 0.25, "JOB workload scale factor")
+		cacheOn      = flag.Bool("cache", false, "enable the semantic result cache")
+		cacheBudget  = flag.String("cache-budget", "64MiB", "result cache byte budget (e.g. 256MB, 1GiB)")
+		maxConns     = flag.Int("max-conns", 0, "max concurrently served connections (0 = unlimited)")
+		readTimeout  = flag.Duration("read-timeout", 0, "idle-connection read deadline (0 = none)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 	)
 	flag.Parse()
 
 	d := db.New()
+	if *cacheOn {
+		budget, perr := db.ParseByteSize(*cacheBudget)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "resultdbd: -cache-budget:", perr)
+			os.Exit(1)
+		}
+		d.EnableCache(budget)
+	}
 	var err error
 	switch *workload {
 	case "job":
@@ -49,12 +63,15 @@ func main() {
 	}
 
 	srv := wire.NewServer(d)
+	srv.MaxConns = *maxConns
+	srv.ReadTimeout = *readTimeout
+	srv.WriteTimeout = *writeTimeout
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resultdbd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("resultdbd listening on %s (workload=%s)\n", bound, *workload)
+	fmt.Printf("resultdbd listening on %s (workload=%s cache=%v)\n", bound, *workload, d.CacheEnabled())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -50,14 +50,14 @@ func main() {
 	defer conn.Close()
 
 	run := func(label, sql string) (*db.Result, int, time.Duration) {
-		before := conn.BytesRead
+		before := conn.BytesRead()
 		start := time.Now()
 		res, err := conn.Exec(sql)
 		if err != nil {
 			log.Fatalf("%s: %v", label, err)
 		}
 		elapsed := time.Since(start)
-		return res, conn.BytesRead - before, elapsed
+		return res, conn.BytesRead() - before, elapsed
 	}
 
 	st, stBytes, stTime := run("single-table", query)

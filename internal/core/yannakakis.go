@@ -324,6 +324,18 @@ type Options struct {
 	// else GOMAXPROCS), 1 = serial, n > 1 = n workers. Results are
 	// bit-identical at any degree (ordered morsel merge).
 	Parallelism int
+	// ResultCache enables the semantic query-result cache at the database
+	// layer (internal/cache wired through internal/db): SELECT results —
+	// classic, RESULTDB, and RESULTDB PRESERVING — are cached under their
+	// canonical statement fingerprint and invalidated by per-table version
+	// counters on every DML/DDL. core itself ignores the field; it lives
+	// here so the whole execution configuration travels in one options bag
+	// (db.Database.CoreOptions), alongside Parallelism. Defaults to off; the
+	// RESULTDB_CACHE environment variable ("on", "off", or a byte budget
+	// like "256MB") overrides it at db.New time.
+	ResultCache bool
+	// ResultCacheBudget is the cache's byte budget (0 = the 64 MiB default).
+	ResultCacheBudget int64
 	// AlphaReduce drops join-graph edges whose predicates are implied by
 	// transitivity before checking for cycles, so α-acyclic-but-JG-cyclic
 	// queries (Section 4.1's gap between the two notions) skip folding

@@ -1,0 +1,180 @@
+package db
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"resultdb/internal/cache"
+	"resultdb/internal/sqlparse"
+)
+
+// DefaultCacheBudget is the result cache's byte budget when enabled without
+// an explicit budget (64 MiB of measured result bytes).
+const DefaultCacheBudget = 64 << 20
+
+// CacheEnvVar configures the result cache at db.New time:
+//
+//	RESULTDB_CACHE=on          enable with the default budget
+//	RESULTDB_CACHE=256MB       enable with a 256 MB budget (KB/MB/GB/KiB/...)
+//	RESULTDB_CACHE=1048576     enable with a byte budget
+//	RESULTDB_CACHE=off         disable (the default when unset)
+const CacheEnvVar = "RESULTDB_CACHE"
+
+// EnableCache switches the semantic result cache on with the given byte
+// budget (0 = DefaultCacheBudget). Safe to call at any time; entries survive
+// re-enabling but respect the new budget immediately.
+func (d *Database) EnableCache(budget int64) {
+	if budget <= 0 {
+		budget = DefaultCacheBudget
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.CoreOptions.ResultCache = true
+	d.CoreOptions.ResultCacheBudget = budget
+	d.resultCache.SetBudget(budget)
+}
+
+// DisableCache switches the result cache off and drops all entries.
+func (d *Database) DisableCache() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.CoreOptions.ResultCache = false
+	d.resultCache.Clear()
+}
+
+// CacheEnabled reports whether the result cache is on.
+func (d *Database) CacheEnabled() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.CoreOptions.ResultCache
+}
+
+// CacheStats snapshots the result cache's counters and occupancy.
+func (d *Database) CacheStats() cache.Stats {
+	return d.resultCache.Stats()
+}
+
+// ClearCache drops every cached result (version counters are preserved, so
+// pre-clear computations can never be revived stale).
+func (d *Database) ClearCache() {
+	d.resultCache.Clear()
+}
+
+// applyCacheEnv configures the cache from the RESULTDB_CACHE environment
+// variable; unset or unparsable values leave the cache off.
+func (d *Database) applyCacheEnv() {
+	v := strings.TrimSpace(os.Getenv(CacheEnvVar))
+	if v == "" {
+		return
+	}
+	switch strings.ToLower(v) {
+	case "off", "0", "false", "no":
+		return
+	case "on", "1", "true", "yes":
+		d.CoreOptions.ResultCache = true
+		d.CoreOptions.ResultCacheBudget = DefaultCacheBudget
+	default:
+		budget, err := ParseByteSize(v)
+		if err != nil || budget <= 0 {
+			return
+		}
+		d.CoreOptions.ResultCache = true
+		d.CoreOptions.ResultCacheBudget = budget
+	}
+	d.resultCache.SetBudget(d.CoreOptions.ResultCacheBudget)
+}
+
+// ParseByteSize parses "1048576", "64KB", "256MB", "2GB", "16MiB" (decimal
+// suffixes are powers of 1000, binary suffixes powers of 1024; case
+// insensitive, optional space before the suffix).
+func ParseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	i := len(s)
+	for i > 0 {
+		c := s[i-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		i--
+	}
+	num := strings.TrimSpace(s[:i])
+	suffix := strings.ToUpper(strings.TrimSpace(s[i:]))
+	mult := int64(1)
+	switch suffix {
+	case "", "B":
+	case "KB":
+		mult = 1000
+	case "MB":
+		mult = 1000 * 1000
+	case "GB":
+		mult = 1000 * 1000 * 1000
+	case "KIB":
+		mult = 1 << 10
+	case "MIB":
+		mult = 1 << 20
+	case "GIB":
+		mult = 1 << 30
+	default:
+		return 0, fmt.Errorf("db: unknown byte-size suffix %q", suffix)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("db: bad byte size %q: %w", s, err)
+	}
+	return int64(f * float64(mult)), nil
+}
+
+// cacheKey builds the semantic cache key of a SELECT executed through the
+// SQL surface: the canonical statement fingerprint (whitespace-, identifier-
+// case- and literal-formatting-insensitive; RESULTDB / PRESERVING flags are
+// part of the canonical text) prefixed with the execution knobs that can
+// change the *observable* result beyond the row data — the strategy (Stats
+// attachment differs between semi-join and Decompose) and the join-order
+// optimizer flag. Parallelism is deliberately excluded: results are
+// bit-identical at any degree.
+func (d *Database) cacheKey(sel *sqlparse.Select) string {
+	return fmt.Sprintf("s%d|dp%t|%s", d.Strategy, d.DPJoinOrder, sqlparse.Canonical(sel))
+}
+
+// bumpTables advances the cache version counter of each named table. Called
+// with d.mu held for writing by every DML/DDL path, so no SELECT (which
+// holds the read lock across lookup and fill) can interleave.
+func (d *Database) bumpTables(names ...string) {
+	d.resultCache.Bump(names...)
+}
+
+// queryCachedLocked serves sel through the result cache: a fresh entry is
+// returned as-is, concurrent identical misses collapse into one execution
+// (single-flight), and a computed result is admitted with its measured wire
+// size. The caller holds d.mu.RLock, which excludes all DML/DDL for the
+// whole lookup-execute-fill window — the versions captured at miss time are
+// therefore still current at fill time, so a cached entry can never embed a
+// state older than its recorded versions.
+//
+// Cached *Result values are shared snapshots: callers must not mutate them
+// (the repo's surfaces — shell printing, wire encoding, PostJoin — only
+// read).
+func (d *Database) queryCachedLocked(sel *sqlparse.Select) (*Result, error) {
+	key := d.cacheKey(sel)
+	tables := sqlparse.Tables(sel)
+	res, _, err := d.resultCache.Do(key, tables, func() (*Result, int64, error) {
+		r, err := d.queryUncachedLocked(sel, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, cachedResultBytes(r), nil
+	})
+	return res, err
+}
+
+// cachedResultBytes measures a result's cache cost: the Section 6.1 wire
+// size of every set plus a small fixed overhead per set for names, columns,
+// and bookkeeping.
+func cachedResultBytes(r *Result) int64 {
+	const perSetOverhead = 64
+	n := int64(r.WireSize())
+	n += int64(len(r.Sets)) * perSetOverhead
+	return n
+}

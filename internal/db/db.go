@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"resultdb/internal/cache"
 	"resultdb/internal/catalog"
 	"resultdb/internal/core"
 	"resultdb/internal/engine"
@@ -55,6 +56,13 @@ type Database struct {
 	cat    *catalog.Catalog
 	tables map[string]*storage.Table
 
+	// resultCache is the semantic query-result cache (internal/cache): a
+	// byte-budgeted LRU keyed by the canonical statement fingerprint and
+	// guarded by per-table version counters bumped on every DML/DDL. Always
+	// allocated (its version counters must track DML even while serving is
+	// off) but consulted only when CoreOptions.ResultCache is set.
+	resultCache *cache.Cache[*Result]
+
 	// Strategy and CoreOptions configure RESULTDB execution.
 	Strategy    Strategy
 	CoreOptions core.Options
@@ -63,14 +71,19 @@ type Database struct {
 	DPJoinOrder bool
 }
 
-// New returns an empty database with the paper-default RESULTDB options.
+// New returns an empty database with the paper-default RESULTDB options. The
+// semantic result cache starts disabled unless the RESULTDB_CACHE
+// environment variable turns it on (see CacheEnvVar).
 func New() *Database {
-	return &Database{
+	d := &Database{
 		cat:         catalog.New(),
 		tables:      make(map[string]*storage.Table),
 		Strategy:    StrategySemiJoin,
 		CoreOptions: core.DefaultOptions(),
+		resultCache: cache.New[*Result](DefaultCacheBudget),
 	}
+	d.applyCacheEnv()
+	return d
 }
 
 // ResultSet is one cursor of a result: the minimally invasive API extension
@@ -182,6 +195,9 @@ func (d *Database) createTableLocked(def *catalog.TableDef) (*storage.Table, err
 	}
 	t := storage.NewTable(def)
 	d.tables[strings.ToLower(def.Name)] = t
+	// A re-created table is a different table: any cached result computed
+	// against a previous incarnation (e.g. before a DROP) must not survive.
+	d.bumpTables(def.Name)
 	return t, nil
 }
 
@@ -277,6 +293,7 @@ func (d *Database) execDrop(name string, ifExists, mustBeView bool) (*Result, er
 		return nil, err
 	}
 	delete(d.tables, strings.ToLower(name))
+	d.bumpTables(name)
 	return &Result{}, nil
 }
 
@@ -322,6 +339,9 @@ func (d *Database) execInsert(s *sqlparse.Insert) (*Result, error) {
 			return nil, err
 		}
 		n++
+	}
+	if n > 0 {
+		d.bumpTables(s.Table)
 	}
 	return &Result{Affected: n}, nil
 }

@@ -37,8 +37,38 @@ func (d *Database) QueryWithTrace(sel *sqlparse.Select) (*Result, *trace.Trace, 
 	return res, tr.Finish(), nil
 }
 
-// queryLocked dispatches a SELECT with an optional tracer (nil = disabled).
+// queryLocked dispatches a SELECT with an optional tracer (nil = disabled),
+// consulting the semantic result cache when enabled:
+//
+//   - Untraced queries go through the full cache path (lookup, single-flight
+//     collapse of identical concurrent misses, fill) in queryCachedLocked.
+//   - Traced queries (EXPLAIN, EXPLAIN ANALYZE, QueryWithTrace) always
+//     execute — a trace without operator spans would be useless — but probe
+//     the cache to annotate the plan with the would-be outcome ("cache: hit"
+//     or "cache: miss" in the strippable bracket section) and fill it, so
+//     EXPLAIN warms the cache for the statement it explains.
 func (d *Database) queryLocked(sel *sqlparse.Select, tr *trace.Tracer) (*Result, error) {
+	if d.CoreOptions.ResultCache {
+		if !tr.Enabled() {
+			return d.queryCachedLocked(sel)
+		}
+		key := d.cacheKey(sel)
+		if _, ok := d.resultCache.Peek(key); ok {
+			tr.SetCacheStatus("hit")
+		} else {
+			tr.SetCacheStatus("miss")
+		}
+		res, err := d.queryUncachedLocked(sel, tr)
+		if err == nil {
+			d.resultCache.Put(key, res, cachedResultBytes(res), sqlparse.Tables(sel))
+		}
+		return res, err
+	}
+	return d.queryUncachedLocked(sel, tr)
+}
+
+// queryUncachedLocked always executes, bypassing the result cache.
+func (d *Database) queryUncachedLocked(sel *sqlparse.Select, tr *trace.Tracer) (*Result, error) {
 	if sel.ResultDB {
 		mode := ModeRDB
 		if sel.Preserving {

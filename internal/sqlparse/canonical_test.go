@@ -1,0 +1,107 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustSelect(t *testing.T, sql string) *Select {
+	t.Helper()
+	sel, err := ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return sel
+}
+
+func TestCanonicalInsensitivity(t *testing.T) {
+	// Groups of spellings that must share one fingerprint.
+	groups := [][]string{
+		{ // whitespace + identifier case + AS spelling
+			"SELECT t.title FROM movies AS t WHERE t.year > 2000",
+			"select   T.TITLE from MOVIES t\n where T.year>2000",
+			"SELECT t.title FROM Movies AS T WHERE t.Year > 2000",
+		},
+		{ // literal formatting: float trailing zeros, string quoting
+			"SELECT * FROM r WHERE r.x < 0.50 AND r.name = 'ann'",
+			"SELECT * FROM r WHERE r.x < 0.5 AND r.name = 'ann'",
+		},
+		{ // redundant alias == table name
+			"SELECT movies.title FROM movies",
+			"SELECT Movies.Title FROM movies AS movies",
+		},
+		{ // RESULTDB forms canonicalize too
+			"SELECT RESULTDB t.title, c.name FROM movies t, cast_info c WHERE t.id = c.movie_id",
+			"select resultdb T.title , C.name from movies AS T , cast_info AS C where T.id=C.movie_id",
+		},
+	}
+	for gi, g := range groups {
+		want := Canonical(mustSelect(t, g[0]))
+		for _, sql := range g[1:] {
+			if got := Canonical(mustSelect(t, sql)); got != want {
+				t.Errorf("group %d: fingerprints differ:\n%q -> %q\n%q -> %q",
+					gi, g[0], want, sql, got)
+			}
+		}
+	}
+}
+
+func TestCanonicalDistinguishesSemantics(t *testing.T) {
+	// Pairs that must NOT collide.
+	pairs := [][2]string{
+		{"SELECT t.title FROM movies t", "SELECT t.title FROM shows t"},
+		{"SELECT t.title FROM movies t", "SELECT DISTINCT t.title FROM movies t"},
+		{"SELECT t.a FROM r t WHERE t.a = 1", "SELECT t.a FROM r t WHERE t.a = 2"},
+		{"SELECT t.a FROM r t WHERE t.a = 1", "SELECT t.a FROM r t WHERE t.a = 1.0"},
+		{"SELECT t.a FROM r t", "SELECT RESULTDB t.a FROM r t"},
+		{"SELECT RESULTDB t.a FROM r t", "SELECT RESULTDB PRESERVING t.a FROM r t"},
+		{"SELECT t.a AS x FROM r t", "SELECT t.a AS y FROM r t"},
+		{"SELECT t.a FROM r t LIMIT 1", "SELECT t.a FROM r t LIMIT 2"},
+	}
+	for _, p := range pairs {
+		a := Canonical(mustSelect(t, p[0]))
+		b := Canonical(mustSelect(t, p[1]))
+		if a == b {
+			t.Errorf("distinct statements share fingerprint %q:\n  %s\n  %s", a, p[0], p[1])
+		}
+	}
+}
+
+func TestCanonicalDoesNotMutate(t *testing.T) {
+	sel := mustSelect(t, "SELECT T.Title FROM Movies AS T WHERE T.Year IN (SELECT Y.v FROM Years Y)")
+	before := sel.SQL()
+	_ = Canonical(sel)
+	if after := sel.SQL(); after != before {
+		t.Fatalf("Canonical mutated the AST:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+func TestCanonicalLowercasesStringsOnlyOutsideLiterals(t *testing.T) {
+	c := Canonical(mustSelect(t, "SELECT t.a FROM r t WHERE t.name = 'MiXeD' AND t.b LIKE 'Pat%'"))
+	if !strings.Contains(c, "'MiXeD'") || !strings.Contains(c, "'Pat%'") {
+		t.Fatalf("literal case must be preserved, got %q", c)
+	}
+}
+
+func TestTables(t *testing.T) {
+	sel := mustSelect(t, `
+		SELECT t.title FROM movies t
+		JOIN cast_info c ON t.id = c.movie_id
+		WHERE t.kind IN (SELECT k.id FROM kinds k WHERE k.name IN (SELECT s.n FROM synonyms s))
+		  AND c.role IN (1, 2)`)
+	got := Tables(sel)
+	want := []string{"movies", "cast_info", "kinds", "synonyms"}
+	if len(got) != len(want) {
+		t.Fatalf("Tables = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !strings.EqualFold(got[i], want[i]) {
+			t.Fatalf("Tables = %v, want %v", got, want)
+		}
+	}
+	// Duplicates (self-joins, repeated references) are reported once.
+	sel2 := mustSelect(t, "SELECT a.x FROM r a, r b WHERE a.x = b.y")
+	if got := Tables(sel2); len(got) != 1 || got[0] != "r" {
+		t.Fatalf("Tables(self-join) = %v, want [r]", got)
+	}
+}

@@ -81,8 +81,17 @@ func (tr *Trace) TreeLines() []string {
 	if tr.Parallelism > 0 {
 		head += fmt.Sprintf("  parallelism: %d", tr.Parallelism)
 	}
+	// The bracket section is strippable: everything inside it is run-varying
+	// (wall time, result-cache outcome) and excluded from CountsFingerprint.
+	var headAnn []string
 	if tr.WallNS > 0 {
-		head += "  [" + ms(tr.WallNS) + "]"
+		headAnn = append(headAnn, ms(tr.WallNS))
+	}
+	if tr.Cache != "" {
+		headAnn = append(headAnn, "cache: "+tr.Cache)
+	}
+	if len(headAnn) > 0 {
+		head += "  [" + strings.Join(headAnn, ", ") + "]"
 	}
 	lines = append(lines, head)
 	if len(tr.Outputs) > 0 {

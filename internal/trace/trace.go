@@ -96,6 +96,7 @@ type Tracer struct {
 	parallelism int
 	outputs     []string
 	stats       string
+	cache       string
 
 	rowsScanned atomic.Int64
 	rowsJoined  atomic.Int64
@@ -187,6 +188,20 @@ func (t *Tracer) SetOutputs(aliases []string) {
 	t.mu.Unlock()
 }
 
+// SetCacheStatus records the result-cache outcome for the traced statement:
+// "hit" (a fresh cached entry exists for its fingerprint) or "miss". Empty
+// means the cache was disabled. Rendered by EXPLAIN ANALYZE inside the
+// strippable bracket section (run-varying, like wall times), and excluded
+// from CountsFingerprint.
+func (t *Tracer) SetCacheStatus(s string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cache = s
+	t.mu.Unlock()
+}
+
 // SetStats records the core algorithm's one-line stats summary.
 func (t *Tracer) SetStats(s string) {
 	if t == nil {
@@ -246,9 +261,13 @@ type Trace struct {
 	Parallelism int      `json:"parallelism,omitempty"`
 	Outputs     []string `json:"outputs,omitempty"`
 	Stats       string   `json:"stats,omitempty"`
-	WallNS      int64    `json:"wall_ns"`
-	Counters    Counters `json:"counters"`
-	Spans       []Span   `json:"spans"`
+	// Cache is the result-cache outcome ("hit", "miss", or "" when the cache
+	// is off). Run-varying: excluded from CountsFingerprint and rendered only
+	// inside the strippable bracket section of EXPLAIN ANALYZE.
+	Cache    string   `json:"cache,omitempty"`
+	WallNS   int64    `json:"wall_ns"`
+	Counters Counters `json:"counters"`
+	Spans    []Span   `json:"spans"`
 }
 
 // Finish snapshots the tracer into a Trace. Returns nil on a disabled
@@ -266,6 +285,7 @@ func (t *Tracer) Finish() *Trace {
 		Parallelism: t.parallelism,
 		Outputs:     append([]string(nil), t.outputs...),
 		Stats:       t.stats,
+		Cache:       t.cache,
 		WallNS:      time.Since(t.start).Nanoseconds(),
 		Counters: Counters{
 			RowsScanned: t.rowsScanned.Load(),

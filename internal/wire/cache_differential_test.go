@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"resultdb/internal/db"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/types"
+	"resultdb/internal/workload/hierarchy"
+	"resultdb/internal/workload/job"
+	"resultdb/internal/workload/star"
+)
+
+// This file is the correctness gate of the semantic result cache: for every
+// workload query it executes the statement
+//
+//	(1) cold     — first execution on the cached database (a miss),
+//	(2) warm     — second execution (must be a cache hit), and
+//	(3) reheated — after an invalidating INSERT into a referenced table
+//	               (the entry must be discarded and recomputed),
+//
+// and requires each of the three to be byte-identical, after wire encoding,
+// to an uncached oracle database that received exactly the same statements.
+// The wire encoding covers set names, column lists, row data, and the
+// shipped post-join plan, so any divergence — stale rows, wrong dedup, a
+// mixed-up entry, a surviving pre-DML result — shows up as a byte diff.
+
+// literalFor produces a deterministic, distinctive literal for a column.
+func literalFor(kind types.Kind, seq int) string {
+	switch kind {
+	case types.KindInt:
+		return fmt.Sprintf("%d", 900000000+seq)
+	case types.KindFloat:
+		return fmt.Sprintf("%d.5", 900000000+seq)
+	case types.KindBool:
+		return "TRUE"
+	default:
+		return fmt.Sprintf("'cache_diff_%d'", seq)
+	}
+}
+
+var insertSeq int
+
+// invalidatingInsert builds an INSERT statement for the first base table the
+// query references, with fresh synthetic values for every column.
+func invalidatingInsert(t *testing.T, d *db.Database, sel *sqlparse.Select) string {
+	t.Helper()
+	tables := sqlparse.Tables(sel)
+	if len(tables) == 0 {
+		t.Fatal("query references no tables")
+	}
+	def, err := d.Catalog().Lookup(tables[0])
+	if err != nil {
+		t.Fatalf("lookup %s: %v", tables[0], err)
+	}
+	insertSeq++
+	vals := make([]string, len(def.Columns))
+	for i, c := range def.Columns {
+		vals[i] = literalFor(c.Type, insertSeq)
+	}
+	return fmt.Sprintf("INSERT INTO %s VALUES (%s)", def.Name, strings.Join(vals, ", "))
+}
+
+// execBytes executes sql and returns the wire encoding of the result.
+func execBytes(t *testing.T, d *db.Database, sql string) []byte {
+	t.Helper()
+	res, err := d.Exec(sql)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return EncodeResult(res)
+}
+
+// checkColdWarmInvalidate runs the three-phase differential for one query.
+func checkColdWarmInvalidate(t *testing.T, cached, oracle *db.Database, name, sql string) {
+	t.Helper()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+
+	st0 := cached.CacheStats()
+	cold := execBytes(t, cached, sql)
+	want := execBytes(t, oracle, sql)
+	if !bytes.Equal(cold, want) {
+		t.Fatalf("%s: cold cached execution differs from uncached oracle", name)
+	}
+
+	warm := execBytes(t, cached, sql)
+	if !bytes.Equal(warm, want) {
+		t.Fatalf("%s: warm (cache-hit) execution differs from uncached oracle", name)
+	}
+	st1 := cached.CacheStats()
+	if st1.Hits != st0.Hits+1 {
+		t.Fatalf("%s: warm execution was not a cache hit (%+v -> %+v)", name, st0, st1)
+	}
+
+	// Invalidate: the same INSERT goes to both databases.
+	ins := invalidatingInsert(t, cached, sel)
+	if _, err := cached.Exec(ins); err != nil {
+		t.Fatalf("%s: %q on cached db: %v", name, ins, err)
+	}
+	if _, err := oracle.Exec(ins); err != nil {
+		t.Fatalf("%s: %q on oracle db: %v", name, ins, err)
+	}
+	reheated := execBytes(t, cached, sql)
+	wantAfter := execBytes(t, oracle, sql)
+	if !bytes.Equal(reheated, wantAfter) {
+		t.Fatalf("%s: post-INSERT execution differs from uncached oracle (stale cache?)", name)
+	}
+	st2 := cached.CacheStats()
+	if st2.Invalidations <= st1.Invalidations {
+		t.Fatalf("%s: INSERT did not invalidate the cached entry (%+v -> %+v)", name, st1, st2)
+	}
+}
+
+// cachedAndOracle loads the same workload into a cached db and an uncached
+// oracle.
+func cachedAndOracle(t *testing.T, load func(d *db.Database) error) (*db.Database, *db.Database) {
+	t.Helper()
+	cached, oracle := db.New(), db.New()
+	if err := load(cached); err != nil {
+		t.Fatal(err)
+	}
+	if err := load(oracle); err != nil {
+		t.Fatal(err)
+	}
+	cached.EnableCache(256 << 20)
+	if oracle.CacheEnabled() {
+		t.Fatal("oracle must stay uncached")
+	}
+	return cached, oracle
+}
+
+func TestCacheDifferentialJOB(t *testing.T) {
+	cached, oracle := cachedAndOracle(t, func(d *db.Database) error {
+		return job.Load(d, job.Config{Scale: 0.05, Seed: 42})
+	})
+	for _, q := range job.Queries() {
+		sql := "SELECT RESULTDB" + strings.TrimPrefix(strings.TrimSpace(q.SQL), "SELECT")
+		checkColdWarmInvalidate(t, cached, oracle, q.Name+"/rdb", sql)
+	}
+	// The ten Table-1 instances additionally run relationship-preserving
+	// (post-join plan included in the encoding) and classic single-table.
+	for _, name := range job.Table1Queries {
+		q, err := job.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trimmed := strings.TrimSpace(q.SQL)
+		rp := "SELECT RESULTDB PRESERVING" + strings.TrimPrefix(trimmed, "SELECT")
+		checkColdWarmInvalidate(t, cached, oracle, name+"/rdbrp", rp)
+		checkColdWarmInvalidate(t, cached, oracle, name+"/st", trimmed)
+	}
+}
+
+func TestCacheDifferentialStar(t *testing.T) {
+	cfg := star.Config{Dims: 3, DimRows: 12, PayloadLen: 16, Seed: 7}
+	cached, oracle := cachedAndOracle(t, func(d *db.Database) error {
+		return star.Load(d, cfg)
+	})
+	for _, sel := range []float64{0.2, 0.6, 1.0} {
+		st := star.Query(cfg, sel)
+		rdb := "SELECT RESULTDB" + strings.TrimPrefix(strings.TrimSpace(star.PayloadQuery(cfg, sel)), "SELECT")
+		checkColdWarmInvalidate(t, cached, oracle, fmt.Sprintf("star-%.1f/st", sel), st)
+		checkColdWarmInvalidate(t, cached, oracle, fmt.Sprintf("star-%.1f/rdb", sel), rdb)
+	}
+}
+
+func TestCacheDifferentialHierarchy(t *testing.T) {
+	cached, oracle := cachedAndOracle(t, func(d *db.Database) error {
+		return hierarchy.Load(d, hierarchy.DefaultConfig())
+	})
+	checkColdWarmInvalidate(t, cached, oracle, "hier/outer", strings.TrimSpace(hierarchy.OuterJoinQuery))
+	checkColdWarmInvalidate(t, cached, oracle, "hier/rdb-electronics", strings.TrimSpace(hierarchy.ResultDBElectronics))
+	checkColdWarmInvalidate(t, cached, oracle, "hier/rdb-clothing", strings.TrimSpace(hierarchy.ResultDBClothing))
+}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"resultdb/internal/db"
 )
@@ -21,6 +23,12 @@ const (
 )
 
 const maxFrame = 1 << 30
+
+// errFrameTooLarge marks an oversized inbound frame. The header has been
+// consumed but the payload has not, so the stream cannot be resynchronized:
+// the server answers frameErr and drops the connection instead of silently
+// dying.
+var errFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	var hdr [5]byte
@@ -40,7 +48,7 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
 	if n > maxFrame {
-		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+		return 0, nil, fmt.Errorf("%w (%d bytes > %d)", errFrameTooLarge, n, maxFrame)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -49,17 +57,36 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	return hdr[0], payload, nil
 }
 
-// Server exposes a Database over TCP.
+// Server exposes a Database over TCP. Configure the hardening knobs before
+// Listen; they are not safe to change while serving.
 type Server struct {
 	db *db.Database
+
+	// ReadTimeout bounds how long a connection may sit idle (or dribble one
+	// frame) before the server drops it; zero means no deadline. The
+	// deadline is re-armed before every frame read, so a busy connection
+	// lives forever and an abandoned one is reaped.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response frame; zero means none.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections (0 = unlimited). The
+	// accept loop blocks once the cap is reached, leaving excess dials in
+	// the kernel backlog until a slot frees — clients see latency, not
+	// errors, under overload.
+	MaxConns int
 
 	mu sync.Mutex
 	ln net.Listener
 	wg sync.WaitGroup
+
+	active atomic.Int64
 }
 
 // NewServer wraps a database.
 func NewServer(d *db.Database) *Server { return &Server{db: d} }
+
+// ActiveConns reports the number of connections currently being served.
+func (s *Server) ActiveConns() int { return int(s.active.Load()) }
 
 // Listen binds addr ("host:port"; ":0" picks a free port) and starts
 // serving in the background. It returns the bound address.
@@ -71,21 +98,35 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	var sem chan struct{}
+	if s.MaxConns > 0 {
+		sem = make(chan struct{}, s.MaxConns)
+	}
 	s.wg.Add(1)
-	go s.acceptLoop(ln)
+	go s.acceptLoop(ln, sem)
 	return ln.Addr().String(), nil
 }
 
-func (s *Server) acceptLoop(ln net.Listener) {
+func (s *Server) acceptLoop(ln net.Listener, sem chan struct{}) {
 	defer s.wg.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return // closed
 		}
+		if sem != nil {
+			sem <- struct{}{} // blocks accepting beyond MaxConns
+		}
 		s.wg.Add(1)
+		s.active.Add(1)
 		go func() {
-			defer s.wg.Done()
+			defer func() {
+				s.active.Add(-1)
+				if sem != nil {
+					<-sem
+				}
+				s.wg.Done()
+			}()
 			s.serveConn(conn)
 		}()
 	}
@@ -95,27 +136,42 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// reply writes one response frame under the write deadline and flushes.
+	reply := func(typ byte, payload []byte) error {
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		if err := writeFrame(w, typ, payload); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
 	for {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
 		typ, payload, err := readFrame(r)
 		if err != nil {
-			return // client gone
+			if errors.Is(err, errFrameTooLarge) {
+				// Answer before dropping: the stream cannot be resynced past
+				// an unread oversized payload, but the client deserves to
+				// know why the connection is going away.
+				reply(frameErr, []byte(err.Error()))
+			}
+			return // client gone, idle timeout, or poisoned stream
 		}
 		if typ != frameQuery {
-			writeFrame(w, frameErr, []byte(fmt.Sprintf("unexpected frame type %d", typ)))
-			w.Flush()
+			reply(frameErr, []byte(fmt.Sprintf("unexpected frame type %d", typ)))
 			return
 		}
 		res, err := s.db.Exec(string(payload))
 		if err != nil {
-			if werr := writeFrame(w, frameErr, []byte(err.Error())); werr != nil {
+			if werr := reply(frameErr, []byte(err.Error())); werr != nil {
 				return
 			}
-		} else {
-			if werr := writeFrame(w, frameOK, EncodeResult(res)); werr != nil {
-				return
-			}
+			continue
 		}
-		if err := w.Flush(); err != nil {
+		if werr := reply(frameOK, EncodeResult(res)); werr != nil {
 			return
 		}
 	}
@@ -136,12 +192,21 @@ func (s *Server) Close() error {
 }
 
 // Client speaks the protocol to a Server.
+//
+// Concurrency contract: Exec is safe for concurrent use — a mutex serializes
+// whole request/response exchanges on the single underlying connection, so
+// concurrent Execs queue and run one at a time (open one Client per desired
+// in-flight request for pipelining). BytesRead may be read concurrently with
+// in-flight Execs. Close may be called at any time; Execs blocked on the
+// connection fail with the close error.
 type Client struct {
 	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	// BytesRead accumulates payload bytes received, for transfer accounting.
-	BytesRead int
+
+	mu sync.Mutex // serializes one full Exec exchange
+	r  *bufio.Reader
+	w  *bufio.Writer
+
+	bytesRead atomic.Int64
 }
 
 // Dial connects to a server.
@@ -153,8 +218,15 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
-// Exec sends one statement and decodes the response.
+// BytesRead returns the accumulated payload bytes received, for transfer
+// accounting. Safe to call concurrently with Exec.
+func (c *Client) BytesRead() int { return int(c.bytesRead.Load()) }
+
+// Exec sends one statement and decodes the response. Safe for concurrent
+// use; see the Client concurrency contract.
 func (c *Client) Exec(sql string) (*db.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := writeFrame(c.w, frameQuery, []byte(sql)); err != nil {
 		return nil, err
 	}
@@ -165,7 +237,7 @@ func (c *Client) Exec(sql string) (*db.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.BytesRead += len(payload)
+	c.bytesRead.Add(int64(len(payload)))
 	switch typ {
 	case frameOK:
 		return DecodeResult(payload)

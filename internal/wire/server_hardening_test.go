@@ -1,0 +1,236 @@
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resultdb/internal/db"
+)
+
+func hardenedTestDB(t *testing.T) *db.Database {
+	t.Helper()
+	d := db.New()
+	if _, err := d.ExecScript(`
+CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
+INSERT INTO t VALUES (1, 'a'), (2, 'b');`); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// rawFrame writes a hand-rolled frame header (and optionally payload).
+func rawFrame(t *testing.T, conn net.Conn, typ byte, length uint32, payload []byte) {
+	t.Helper()
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], length)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if payload != nil {
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// readRawFrame reads one frame off a raw connection.
+func readRawFrame(t *testing.T, conn net.Conn) (byte, []byte) {
+	t.Helper()
+	var hdr [5]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		t.Fatal(err)
+	}
+	return hdr[0], payload
+}
+
+func TestServerOversizedFrameAnswersErrAndDrops(t *testing.T) {
+	srv := NewServer(hardenedTestDB(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Claim a payload just over the limit; send no payload bytes — the
+	// server must answer from the header alone.
+	rawFrame(t, conn, frameQuery, maxFrame+1, nil)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload := readRawFrame(t, conn)
+	if typ != frameErr {
+		t.Fatalf("want frameErr, got type %d", typ)
+	}
+	if !strings.Contains(string(payload), "exceeds size limit") {
+		t.Fatalf("unhelpful oversize error %q", payload)
+	}
+	// The connection must then be closed by the server.
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err == nil {
+		t.Fatal("server kept a poisoned connection open")
+	}
+}
+
+func TestServerUnexpectedFrameTypeAnswersErr(t *testing.T) {
+	srv := NewServer(hardenedTestDB(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rawFrame(t, conn, frameOK, 0, nil)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload := readRawFrame(t, conn)
+	if typ != frameErr || !strings.Contains(string(payload), "unexpected frame type") {
+		t.Fatalf("want unexpected-frame error, got type %d %q", typ, payload)
+	}
+}
+
+func TestServerReadDeadlineReapsIdleConns(t *testing.T) {
+	srv := NewServer(hardenedTestDB(t))
+	srv.ReadTimeout = 100 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing; the server must hang up on its own.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err == nil {
+		t.Fatal("idle connection was not reaped")
+	}
+
+	// A busy connection survives many deadline windows.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Exec("SELECT t.id FROM t AS t"); err != nil {
+			t.Fatalf("busy connection dropped on exec %d: %v", i, err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+}
+
+func TestServerMaxConnsLimitsConcurrency(t *testing.T) {
+	srv := NewServer(hardenedTestDB(t))
+	srv.MaxConns = 2
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Two established, executing connections occupy both slots.
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Client{c1, c2} {
+		if _, err := c.Exec("SELECT t.id FROM t AS t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.ActiveConns(); got != 2 {
+		t.Fatalf("want 2 active conns, got %d", got)
+	}
+
+	// A third dial succeeds at TCP level (kernel backlog) but is not served
+	// until a slot frees.
+	c3, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c3.Exec("SELECT t.id FROM t AS t")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("third connection served beyond MaxConns (err=%v)", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+	c1.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("third connection failed after slot freed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("third connection never served after slot freed")
+	}
+	c2.Close()
+}
+
+func TestClientConcurrentExec(t *testing.T) {
+	srv := NewServer(hardenedTestDB(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 8
+	const reps = 25
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reps; i++ {
+				res, err := c.Exec("SELECT t.name FROM t AS t WHERE t.id = 2")
+				if err != nil {
+					t.Errorf("concurrent exec: %v", err)
+					return
+				}
+				if res.First().NumRows() != 1 || res.First().Rows[0][0].Text() != "b" {
+					t.Errorf("interleaved response: %+v", res.First())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.BytesRead() == 0 {
+		t.Error("BytesRead not accounted")
+	}
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"resultdb/internal/db"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/workload/hierarchy"
+)
+
+// TestServerCacheStress is the concurrency gate of the cached server: N
+// clients hammer one wire.Server (result cache ON) with the hierarchy
+// workload's classic and RESULTDB queries, interleaved round-by-round with
+// invalidating DML. Every response must be byte-identical to a cold,
+// single-threaded, uncached oracle database that received the same DML.
+//
+// Each round begins with an INSERT (applied to the served database over the
+// wire and to the oracle directly), which invalidates every cached entry —
+// so the following burst of identical concurrent queries exercises the
+// single-flight path: many simultaneous misses must collapse into one
+// execution whose result is then shared, still matching the oracle.
+//
+// Run under -race (verify.sh does) to also shake out data races in the
+// server accept loop, the per-connection handlers, the client mutex, and
+// the cache's LRU/flight bookkeeping.
+func TestServerCacheStress(t *testing.T) {
+	served, oracle := db.New(), db.New()
+	for _, d := range []*db.Database{served, oracle} {
+		if err := hierarchy.Load(d, hierarchy.DefaultConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	served.EnableCache(64 << 20)
+
+	srv := NewServer(served)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	queries := []string{
+		strings.TrimSpace(hierarchy.OuterJoinQuery),
+		strings.TrimSpace(hierarchy.ResultDBElectronics),
+		strings.TrimSpace(hierarchy.ResultDBClothing),
+	}
+
+	// One writer connection for DML, N reader connections for the burst.
+	writer, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	const nClients = 6
+	readers := make([]*Client, nClients)
+	for i := range readers {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		readers[i] = c
+	}
+
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		// Invalidating DML, same statement to both sides. Derive it from
+		// the first query's lead table so the INSERT provably intersects
+		// the cached entries' table sets.
+		sel, err := sqlparse.ParseSelect(queries[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins := invalidatingInsert(t, served, sel)
+		if _, err := writer.Exec(ins); err != nil {
+			t.Fatalf("round %d: %q over wire: %v", round, ins, err)
+		}
+		if _, err := oracle.Exec(ins); err != nil {
+			t.Fatalf("round %d: %q on oracle: %v", round, ins, err)
+		}
+
+		// Cold single-threaded oracle answers for this round.
+		want := make([][]byte, len(queries))
+		for i, q := range queries {
+			want[i] = execBytes(t, oracle, q)
+		}
+
+		// Concurrent burst: every client runs every query; all responses
+		// must match the oracle bytes.
+		var wg sync.WaitGroup
+		errs := make(chan error, nClients*len(queries))
+		for ci, c := range readers {
+			wg.Add(1)
+			go func(ci int, c *Client) {
+				defer wg.Done()
+				for qi, q := range queries {
+					res, err := c.Exec(q)
+					if err != nil {
+						errs <- fmt.Errorf("round %d client %d query %d: %v", round, ci, qi, err)
+						return
+					}
+					if !bytes.Equal(EncodeResult(res), want[qi]) {
+						errs <- fmt.Errorf("round %d client %d query %d: response differs from cold oracle", round, ci, qi)
+						return
+					}
+				}
+			}(ci, c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+
+	st := served.CacheStats()
+	if st.Hits == 0 {
+		t.Errorf("stress run produced no cache hits: %+v", st)
+	}
+	if st.Invalidations == 0 {
+		t.Errorf("DML rounds produced no invalidations: %+v", st)
+	}
+}

@@ -179,7 +179,7 @@ func TestServerClientEndToEnd(t *testing.T) {
 	if len(res.Sets) != 1 || res.First().NumRows() != 1 || res.First().Rows[0][0].Text() != "b" {
 		t.Fatalf("result = %+v", res.First())
 	}
-	if c.BytesRead == 0 {
+	if c.BytesRead() == 0 {
 		t.Error("BytesRead not accounted")
 	}
 

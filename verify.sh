@@ -1,11 +1,14 @@
 #!/bin/sh
 # verify.sh — repo verification gate.
 #
-# Runs static checks, a full build, the complete test suite, the race
-# detector over the concurrency-sensitive packages (the morsel-parallel
-# execution layer, its two main consumers, and the tracer), a short fuzzing
-# pass over the two byte-hostile surfaces (SQL text in, wire bytes in), and
-# the tracer overhead guard.
+# Runs static checks, a full build, the complete test suite (which includes
+# the cache differential gate: cold/warm/post-DML executions byte-identical
+# to an uncached oracle across JOB, star, and hierarchy), the race detector
+# over the concurrency-sensitive packages (the morsel-parallel execution
+# layer, its two main consumers, the tracer, the result cache, and the wire
+# server/client stress tests), a short fuzzing pass over the two
+# byte-hostile surfaces (SQL text in, wire bytes in), and the tracer
+# overhead guard.
 set -eu
 
 cd "$(dirname "$0")"
@@ -19,9 +22,13 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel, engine, core, bloom, trace, db)"
+echo "== go test -race (parallel, engine, core, bloom, trace, db, cache, wire)"
 go test -race ./internal/parallel ./internal/engine ./internal/core \
-	./internal/bloom ./internal/trace ./internal/db
+	./internal/bloom ./internal/trace ./internal/db \
+	./internal/cache ./internal/wire
+
+echo "== cache differential + stress gate (cold/warm/invalidate vs uncached oracle, under -race)"
+go test -race -run 'TestCacheDifferential|TestServerCacheStress' -count=1 ./internal/wire
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
