@@ -10,7 +10,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -35,16 +37,17 @@ func main() {
 		par       = flag.Int("par", 0, "degree of intra-query parallelism (0 = auto via RESULTDB_PARALLELISM or GOMAXPROCS, 1 = serial)")
 		traceFile = flag.String("trace", "", "write JSON execution traces of the selected RESULTDB queries to this file and exit")
 		cacheRep  = flag.Bool("cache", false, "report cold vs warm timings with the semantic result cache and exit")
+		vecRep    = flag.Bool("vec", false, "report row-path vs vectorized-path timings per JOB query and exit")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *reps, *mbps, *queries, *par, *traceFile, *cacheRep); err != nil {
+	if err := run(*exp, *scale, *reps, *mbps, *queries, *par, *traceFile, *cacheRep, *vecRep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, reps int, mbps float64, queryList string, par int, traceFile string, cacheRep bool) error {
+func run(exp string, scale float64, reps int, mbps float64, queryList string, par int, traceFile string, cacheRep, vecRep bool) error {
 	var names []string
 	if queryList != "" {
 		names = strings.Split(queryList, ",")
@@ -53,7 +56,7 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string, pa
 		}
 	}
 
-	needsJOB := exp != "fig7" && exp != "ssb" || traceFile != "" || cacheRep
+	needsJOB := exp != "fig7" && exp != "ssb" || traceFile != "" || cacheRep || vecRep
 	var env *bench.Env
 	if needsJOB {
 		start := time.Now()
@@ -73,6 +76,9 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string, pa
 	}
 	if cacheRep {
 		return cacheReport(env, names)
+	}
+	if vecRep {
+		return vecReport(env, names, scale, par)
 	}
 
 	want := func(name string) bool { return exp == name || exp == "all" }
@@ -209,6 +215,70 @@ func cacheReport(env *bench.Env, names []string) error {
 	st := env.DB.CacheStats()
 	fmt.Printf("\ncache stats: %d hits, %d misses, %d entries, %d bytes in budget %d\n",
 		st.Hits, st.Misses, st.Entries, st.Bytes, st.Budget)
+	return nil
+}
+
+// vecReport times each selected JOB query as SELECT RESULTDB on the
+// row-at-a-time path and on the vectorized (colstore) path — median of reps
+// on the same loaded database — and prints the per-query speedup plus the
+// geometric-mean speedup over all queries. Results are bit-identical across
+// the two paths; only time differs.
+func vecReport(env *bench.Env, names []string, scale float64, par int) error {
+	qs := job.Queries()
+	if len(names) > 0 {
+		var picked []job.Query
+		for _, name := range names {
+			q, err := job.QueryByName(name)
+			if err != nil {
+				return err
+			}
+			picked = append(picked, q)
+		}
+		qs = picked
+	}
+	reps := env.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	defer env.DB.SetVectorized(true)
+
+	median := func(sql string, vec bool) (time.Duration, error) {
+		env.DB.SetVectorized(vec)
+		times := make([]time.Duration, reps)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := env.DB.Exec(sql); err != nil {
+				return 0, err
+			}
+			times[r] = time.Since(start)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		return times[len(times)/2], nil
+	}
+
+	fmt.Printf("Vectorized execution: row path vs colstore path (SELECT RESULTDB, JOB scale %.2f, par %d, median of %d)\n",
+		scale, parallel.Degree(par), reps)
+	fmt.Printf("%-6s %12s %12s %10s\n", "query", "row", "vectorized", "speedup")
+	logSum, n := 0.0, 0
+	for _, q := range qs {
+		sql := "SELECT RESULTDB" + strings.TrimPrefix(strings.TrimSpace(q.SQL), "SELECT")
+		row, err := median(sql, false)
+		if err != nil {
+			return fmt.Errorf("query %s (row path): %w", q.Name, err)
+		}
+		vec, err := median(sql, true)
+		if err != nil {
+			return fmt.Errorf("query %s (vectorized): %w", q.Name, err)
+		}
+		speedup := float64(row) / float64(vec)
+		logSum += math.Log(speedup)
+		n++
+		fmt.Printf("%-6s %10.3fms %10.3fms %9.2fx\n",
+			q.Name, float64(row.Nanoseconds())/1e6, float64(vec.Nanoseconds())/1e6, speedup)
+	}
+	if n > 0 {
+		fmt.Printf("\ngeomean speedup: %.2fx over %d queries\n", math.Exp(logSum/float64(n)), n)
+	}
 	return nil
 }
 

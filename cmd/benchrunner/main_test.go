@@ -18,7 +18,7 @@ func TestRunEachExperiment(t *testing.T) {
 			if exp == "ablation-fold" {
 				queries = "6a"
 			}
-			if err := run(exp, 0.02, 1, 100, queries, 0, "", false); err != nil {
+			if err := run(exp, 0.02, 1, 100, queries, 0, "", false, false); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -26,7 +26,7 @@ func TestRunEachExperiment(t *testing.T) {
 }
 
 func TestRunRejectsUnknownQueries(t *testing.T) {
-	if err := run("table1", 0.02, 1, 100, "zz", 0, "", false); err == nil {
+	if err := run("table1", 0.02, 1, 100, "zz", 0, "", false, false); err == nil {
 		t.Fatal("unknown query should error")
 	}
 }
@@ -36,7 +36,17 @@ func TestRunCacheReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cache report smoke test is not -short")
 	}
-	if err := run("all", 0.02, 1, 100, "3c,9c", 0, "", true); err != nil {
+	if err := run("all", 0.02, 1, 100, "3c,9c", 0, "", true, false); err != nil {
 		t.Fatalf("cache report: %v", err)
+	}
+}
+
+// TestRunVecReport smoke-tests the -vec row-vs-vectorized report.
+func TestRunVecReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vec report smoke test is not -short")
+	}
+	if err := run("all", 0.02, 1, 100, "3c,9c", 0, "", false, true); err != nil {
+		t.Fatalf("vec report: %v", err)
 	}
 }

@@ -51,7 +51,7 @@ func foldJoinGraphTrace(g *Graph, strategy FoldStrategy, st *Stats, opts *Option
 			sp.RowsIn = xr
 			sp.RowsBuild = yr
 		}
-		if err := foldPairSpan(g, x, y, opts.Parallelism, sp); err != nil {
+		if err := foldPairSpan(g, x, y, opts.Parallelism, opts.Vectorized, sp); err != nil {
 			return err
 		}
 		st.Folds++
@@ -132,12 +132,13 @@ func cardProduct(e *Edge) int {
 // affected edges (line 5 of Algorithm 3). The fold join runs at degree par
 // (0 = auto, 1 = serial) with deterministic ordered output.
 func foldPair(g *Graph, x, y *Node, par int) error {
-	return foldPairSpan(g, x, y, par, nil)
+	return foldPairSpan(g, x, y, par, false, nil)
 }
 
 // foldPairSpan is foldPair recording the fold join's build/probe timings on
-// sp (nil = no tracing).
-func foldPairSpan(g *Graph, x, y *Node, par int, sp *trace.Span) error {
+// sp (nil = no tracing). With vec, the join hashes its keys from the inputs'
+// columnar views when present (bit-identical output either way).
+func foldPairSpan(g *Graph, x, y *Node, par int, vec bool, sp *trace.Span) error {
 	// Join x and y on the conjunction of all predicates between them.
 	var between *Edge
 	for _, e := range g.Edges {
@@ -153,11 +154,15 @@ func foldPairSpan(g *Graph, x, y *Node, par int, sp *trace.Span) error {
 	if err != nil {
 		return err
 	}
+	join := engine.HashJoinSpan
+	if vec {
+		join = engine.HashJoinVecSpan
+	}
 	var joined *engine.Relation
 	if between.X == x {
-		joined = engine.HashJoinSpan(x.Rel, y.Rel, xCols, yCols, par, sp)
+		joined = join(x.Rel, y.Rel, xCols, yCols, par, sp)
 	} else {
-		joined = engine.HashJoinSpan(x.Rel, y.Rel, yCols, xCols, par, sp)
+		joined = join(x.Rel, y.Rel, yCols, xCols, par, sp)
 	}
 	z := &Node{
 		Aliases: append(append([]string(nil), x.Aliases...), y.Aliases...),

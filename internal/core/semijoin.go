@@ -64,14 +64,22 @@ func SemiJoinReduce(spec *engine.SPJSpec, rels map[string]*engine.Relation, outp
 	for _, n := range g.Nodes {
 		if n.IsFold() {
 			// Decompose the fold: project out each contained base relation
-			// and deduplicate (the join may have multiplied its tuples).
+			// and deduplicate (the join may have multiplied its tuples). On
+			// the vectorized path the fold result is columnarized once and
+			// each alias dedups on column-data key hashes, materializing only
+			// the surviving rows.
+			src := n.Rel
+			if opts.Vectorized && src.Vec == nil {
+				src = engine.Columnarize(src, opts.Parallelism)
+			}
 			for _, alias := range n.Aliases {
 				if !g.projected[strings.ToLower(alias)] {
 					continue
 				}
-				base := n.Rel.ProjectPar(n.Rel.ColumnsOf(alias), opts.Parallelism).DistinctPar(opts.Parallelism)
+				base := src.ProjectDistinctPar(src.ColumnsOf(alias), opts.Parallelism)
 				if sp := opts.Tracer.Span("decompose", alias); sp != nil {
 					sp.Phase = "decompose"
+					sp.Vec = opts.Vectorized
 					sp.Detail = "unfold " + n.Name()
 					sp.RowsIn = len(n.Rel.Rows)
 					sp.RowsOut = len(base.Rows)
@@ -120,20 +128,40 @@ func DecomposePar(joined *engine.Relation, aliases []string, par int) (map[strin
 // parallel fan-out completes, in alias order, so the trace is deterministic
 // at any degree; tr may be nil.
 func DecomposeTraced(joined *engine.Relation, aliases []string, par int, tr *trace.Tracer) (map[string]*engine.Relation, error) {
+	return decomposeTraced(joined, aliases, par, false, tr)
+}
+
+// DecomposeVecTraced is DecomposeTraced on the columnar path: the join result
+// is columnarized once (shared across aliases) and each per-alias dedup runs
+// on column-data key hashes, materializing only the surviving rows. Output is
+// bit-identical to DecomposeTraced.
+func DecomposeVecTraced(joined *engine.Relation, aliases []string, par int, tr *trace.Tracer) (map[string]*engine.Relation, error) {
+	return decomposeTraced(joined, aliases, par, true, tr)
+}
+
+func decomposeTraced(joined *engine.Relation, aliases []string, par int, vec bool, tr *trace.Tracer) (map[string]*engine.Relation, error) {
 	var t0 time.Time
 	if tr.Enabled() {
 		t0 = time.Now()
+	}
+	src := joined
+	if vec && src.Vec == nil {
+		src = engine.Columnarize(src, par)
 	}
 	results := make([]*engine.Relation, len(aliases))
 	errs := make([]error, len(aliases))
 	parallel.Each(len(aliases), par, func(i int) {
 		alias := aliases[i]
-		cols := joined.ColumnsOf(alias)
+		cols := src.ColumnsOf(alias)
 		if len(cols) == 0 {
 			errs[i] = fmt.Errorf("core: decompose: no columns for relation %q", alias)
 			return
 		}
-		results[i] = joined.ProjectPar(cols, par).DistinctPar(par)
+		if vec {
+			results[i] = src.ProjectDistinctPar(cols, par)
+		} else {
+			results[i] = src.ProjectPar(cols, par).DistinctPar(par)
+		}
 	})
 	var durNS int64
 	if tr.Enabled() {
@@ -146,6 +174,7 @@ func DecomposeTraced(joined *engine.Relation, aliases []string, par int, tr *tra
 		}
 		if sp := tr.Span("decompose", alias); sp != nil {
 			sp.Phase = "decompose"
+			sp.Vec = vec
 			sp.RowsIn = len(joined.Rows)
 			sp.RowsOut = len(results[i].Rows)
 			sp.Par = parallel.Degree(par)

@@ -108,7 +108,11 @@ func semiJoinNodes(target, source *Node, e *Edge, st *Stats, opts *Options, phas
 		sp.RowsIn = before
 		sp.RowsBuild = len(source.Rel.Rows)
 	}
-	target.Rel = engine.SemiJoinSpan(target.Rel, tCols, source.Rel, sCols, opts.Parallelism, sp)
+	if opts.Vectorized {
+		target.Rel = engine.SemiJoinVecSpan(target.Rel, tCols, source.Rel, sCols, opts.Parallelism, sp)
+	} else {
+		target.Rel = engine.SemiJoinSpan(target.Rel, tCols, source.Rel, sCols, opts.Parallelism, sp)
+	}
 	st.SemiJoins++
 	st.TuplesDropped += before - len(target.Rel.Rows)
 	if sp != nil {
@@ -144,31 +148,78 @@ func bloomSemiJoinNodes(target, source *Node, e *Edge, fpRate float64, st *Stats
 		t0 = time.Now()
 	}
 	f := bloom.New(len(source.Rel.Rows), fpRate)
-	if parallel.Chunks(len(source.Rel.Rows), par) > 1 {
-		parallel.For(len(source.Rel.Rows), par, func(lo, hi int) {
-			for _, row := range source.Rel.Rows[lo:hi] {
-				f.AddKeyAtomic(row, sCols)
-			}
-		})
-	} else {
-		for _, row := range source.Rel.Rows {
-			f.AddKey(row, sCols)
-		}
-	}
-	if sp != nil {
-		sp.BuildNS = time.Since(t0).Nanoseconds()
-		t0 = time.Now()
-	}
 	out := &engine.Relation{Cols: target.Rel.Cols}
-	out.Rows = parallel.Map(len(target.Rel.Rows), par, func(lo, hi int) []types.Row {
-		kept := make([]types.Row, 0, hi-lo)
-		for _, row := range target.Rel.Rows[lo:hi] {
-			if f.ContainsKey(row, tCols) {
-				kept = append(kept, row)
+	if opts.Vectorized {
+		// Columnar build and probe: hash straight from column data (identical
+		// bits — colstore key hashes equal Row.HashKey), skip NULL keys like
+		// AddKey/ContainsKey, and narrow the target's view so later exact
+		// semi-joins stay columnar.
+		if sp != nil {
+			sp.Vec = true
+		}
+		sk := engine.KeyFor(source.Rel, sCols)
+		if parallel.Chunks(len(source.Rel.Rows), par) > 1 {
+			parallel.For(len(source.Rel.Rows), par, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					if !sk.HasNull(j) {
+						f.AddHashAtomic(sk.Hash(j))
+					}
+				}
+			})
+		} else {
+			for j, n := 0, len(source.Rel.Rows); j < n; j++ {
+				if !sk.HasNull(j) {
+					f.AddHash(sk.Hash(j))
+				}
 			}
 		}
-		return kept
-	})
+		if sp != nil {
+			sp.BuildNS = time.Since(t0).Nanoseconds()
+			t0 = time.Now()
+		}
+		tk := engine.KeyFor(target.Rel, tCols)
+		kept := parallel.Map(len(target.Rel.Rows), par, func(lo, hi int) []int32 {
+			idx := make([]int32, 0, hi-lo)
+			for j := lo; j < hi; j++ {
+				if !tk.HasNull(j) && f.ContainsHash(tk.Hash(j)) {
+					idx = append(idx, int32(j))
+				}
+			}
+			return idx
+		})
+		out.Rows = make([]types.Row, len(kept))
+		for i, j := range kept {
+			out.Rows[i] = target.Rel.Rows[j]
+		}
+		if target.Rel.Vec != nil {
+			out.Vec = target.Rel.Vec.Narrow(kept)
+		}
+	} else {
+		if parallel.Chunks(len(source.Rel.Rows), par) > 1 {
+			parallel.For(len(source.Rel.Rows), par, func(lo, hi int) {
+				for _, row := range source.Rel.Rows[lo:hi] {
+					f.AddKeyAtomic(row, sCols)
+				}
+			})
+		} else {
+			for _, row := range source.Rel.Rows {
+				f.AddKey(row, sCols)
+			}
+		}
+		if sp != nil {
+			sp.BuildNS = time.Since(t0).Nanoseconds()
+			t0 = time.Now()
+		}
+		out.Rows = parallel.Map(len(target.Rel.Rows), par, func(lo, hi int) []types.Row {
+			kept := make([]types.Row, 0, hi-lo)
+			for _, row := range target.Rel.Rows[lo:hi] {
+				if f.ContainsKey(row, tCols) {
+					kept = append(kept, row)
+				}
+			}
+			return kept
+		})
+	}
 	st.BloomSemiJoins++
 	st.BloomDropped += len(target.Rel.Rows) - len(out.Rows)
 	if sp != nil {
@@ -324,6 +375,14 @@ type Options struct {
 	// else GOMAXPROCS), 1 = serial, n > 1 = n workers. Results are
 	// bit-identical at any degree (ordered morsel merge).
 	Parallelism int
+	// Vectorized runs scans, semi-joins, the Bloom prefilter, fold joins,
+	// and decomposition on the colstore columnar path (typed column vectors,
+	// dictionary-encoded TEXT, selection-vector kernels). Results are
+	// bit-identical to the row path at any parallelism degree; only speed and
+	// the `vectorized` trace annotation differ. Defaults to on; the
+	// RESULTDB_VECTORIZED environment variable ("on"/"off") overrides it at
+	// db.New time.
+	Vectorized bool
 	// ResultCache enables the semantic query-result cache at the database
 	// layer (internal/cache wired through internal/db): SELECT results —
 	// classic, RESULTDB, and RESULTDB PRESERVING — are cached under their
@@ -354,7 +413,7 @@ type Options struct {
 // DefaultOptions mirror the paper's implementation choices, plus the
 // α-reduction extension (exact and strictly work-saving).
 func DefaultOptions() Options {
-	return Options{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: true, AlphaReduce: true}
+	return Options{Root: RootHeuristic, Fold: FoldMaxDegree, EarlyStop: true, AlphaReduce: true, Vectorized: true}
 }
 
 // Stats reports what the algorithm did; the ablation benches and tests

@@ -7,6 +7,7 @@ package db
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 
@@ -83,7 +84,25 @@ func New() *Database {
 		resultCache: cache.New[*Result](DefaultCacheBudget),
 	}
 	d.applyCacheEnv()
+	d.applyVecEnv()
 	return d
+}
+
+// VecEnvVar toggles the vectorized (colstore) execution path at db.New time:
+// "off"/"0"/"false"/"no" falls back to the row-at-a-time path, anything else
+// (or unset) keeps the default from core.DefaultOptions (on). Results are
+// bit-identical either way; the variable exists for A/B benchmarking and as
+// an escape hatch.
+const VecEnvVar = "RESULTDB_VECTORIZED"
+
+// applyVecEnv configures vectorized execution from RESULTDB_VECTORIZED.
+func (d *Database) applyVecEnv() {
+	switch strings.ToLower(strings.TrimSpace(os.Getenv(VecEnvVar))) {
+	case "off", "0", "false", "no":
+		d.CoreOptions.Vectorized = false
+	case "on", "1", "true", "yes":
+		d.CoreOptions.Vectorized = true
+	}
 }
 
 // ResultSet is one cursor of a result: the minimally invasive API extension
@@ -153,7 +172,12 @@ func (r *Result) WireSize() int {
 
 // executor builds an engine executor honoring the database's settings.
 func (d *Database) executor() *engine.Executor {
-	return &engine.Executor{Src: d, DPJoinOrder: d.DPJoinOrder, Parallelism: d.CoreOptions.Parallelism}
+	return &engine.Executor{
+		Src:         d,
+		DPJoinOrder: d.DPJoinOrder,
+		Parallelism: d.CoreOptions.Parallelism,
+		Vectorized:  d.CoreOptions.Vectorized,
+	}
 }
 
 // executorTraced is executor with an optional tracer attached (nil =
@@ -169,6 +193,12 @@ func (d *Database) executorTraced(tr *trace.Tracer) *engine.Executor {
 // RESULTDB_PARALLELISM environment variable, else GOMAXPROCS), 1 = serial,
 // n > 1 = n workers. Results are identical at any degree.
 func (d *Database) SetParallelism(p int) { d.CoreOptions.Parallelism = p }
+
+// SetVectorized toggles the vectorized (colstore) execution path for scans,
+// joins, semi-join reduction, the Bloom prefilter, and Decompose. Results are
+// bit-identical to the row path; only speed and the `vectorized` trace
+// annotation differ.
+func (d *Database) SetVectorized(on bool) { d.CoreOptions.Vectorized = on }
 
 // Table implements engine.Source.
 func (d *Database) Table(name string) (*storage.Table, error) {

@@ -219,7 +219,11 @@ func (d *Database) reduceSpec(spec *engine.SPJSpec, outputs []string, tr *trace.
 	if err != nil {
 		return nil, nil, err
 	}
-	reduced, err := core.DecomposeTraced(joined, outputs, d.CoreOptions.Parallelism, tr)
+	decompose := core.DecomposeTraced
+	if d.CoreOptions.Vectorized {
+		decompose = core.DecomposeVecTraced
+	}
+	reduced, err := decompose(joined, outputs, d.CoreOptions.Parallelism, tr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -301,7 +305,10 @@ func projectSet(alias string, rel *engine.Relation, attrs []string, par int) (*R
 		}
 		cols[i] = idx
 	}
-	projected := rel.ProjectPar(cols, par).DistinctPar(par)
+	// ProjectDistinctPar dedups on columnar key hashes when the reduced
+	// relation still carries its scan's columnar view (vectorized path) and
+	// is exactly ProjectPar+DistinctPar otherwise.
+	projected := rel.ProjectDistinctPar(cols, par)
 	return relToSet(alias, projected, attrs), nil
 }
 

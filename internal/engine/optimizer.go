@@ -301,7 +301,7 @@ func (o *optimizer) execute(n *planNode) (*Relation, error) {
 		sp.RowsIn = len(l.Rows)
 		sp.RowsBuild = len(r.Rows)
 	}
-	joined := hashJoinInner(l, r, lCols, rCols, o.par, sp)
+	joined := hashJoinVecInner(l, r, lCols, rCols, o.par, sp)
 	if sp != nil {
 		sp.RowsOut = len(joined.Rows)
 		o.tr.AddRowsJoined(len(joined.Rows))

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"resultdb/internal/colstore"
 	"resultdb/internal/parallel"
 	"resultdb/internal/types"
 )
@@ -27,9 +28,20 @@ type ColRef struct {
 }
 
 // Relation is a materialized intermediate result: a schema plus rows.
+//
+// Vec, when non-nil, is the relation's columnar image: a colstore view whose
+// logical order matches Rows exactly (Vec.Len() == len(Rows), and
+// Vec.Index(j) is the frame position backing Rows[j]). Vectorized operators
+// attach it so downstream operators (semi-joins, Bloom probes,
+// project+distinct) can run on typed column vectors and selection vectors
+// instead of re-touching rows; operators that cannot preserve the alignment
+// (joins, general projection) leave it nil and later consumers fall back to
+// the row-major path. Vec never changes what a relation *is* — only how fast
+// operators read it.
 type Relation struct {
 	Cols []ColRef
 	Rows []types.Row
+	Vec  *colstore.View
 }
 
 // ColIndex resolves a (possibly table-qualified) column reference against

@@ -23,6 +23,11 @@ type Executor struct {
 	// GOMAXPROCS, 1 forces serial execution. Results are identical at any
 	// degree (deterministic morsel merge).
 	Parallelism int
+	// Vectorized switches base-table scans and equi-joins to the colstore
+	// columnar path (typed column vectors, selection-vector kernels,
+	// dictionary-encoded TEXT). Results are bit-identical to the row path;
+	// only speed and the `vectorized` trace annotation differ.
+	Vectorized bool
 	// Tracer, when non-nil, records per-operator spans (scan, join,
 	// filter, project cardinalities and timings). Nil (the default) is the
 	// disabled fast path: operators skip all recording on a single nil
@@ -256,7 +261,7 @@ func joinAll(preds []JoinPred, rels map[string]*Relation, par int, tr *trace.Tra
 			sp.RowsIn = before
 			sp.RowsBuild = len(nrel.Rows)
 		}
-		cur = hashJoinInner(cur, nrel, lCols, rCols, par, sp)
+		cur = hashJoinVecInner(cur, nrel, lCols, rCols, par, sp)
 		if sp != nil {
 			sp.RowsOut = len(cur.Rows)
 			tr.AddRowsJoined(len(cur.Rows))
@@ -287,6 +292,9 @@ func (e *Executor) baseRelation(r RelRef, filters []sqlparse.Expr) (*Relation, e
 	t, err := e.Src.Table(r.Table)
 	if err != nil {
 		return nil, err
+	}
+	if e.Vectorized {
+		return e.baseRelationVec(t, r, filters)
 	}
 	var sp *trace.Span
 	var t0 time.Time

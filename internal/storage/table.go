@@ -6,20 +6,32 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"resultdb/internal/catalog"
+	"resultdb/internal/colstore"
 	"resultdb/internal/types"
 )
 
 // Table is an in-memory relation: a definition plus rows.
 //
-// Tables are not internally synchronized; internal/db serializes access with
-// its transaction lock.
+// Tables are not internally synchronized for writes; internal/db serializes
+// mutation with its transaction lock. The lazily built column-vector cache
+// (Columns) is internally locked because concurrent readers may race to
+// build it under db's shared read lock.
 type Table struct {
 	Def  *catalog.TableDef
 	Rows []types.Row
 
 	indexes map[string]*HashIndex // keyed by canonical column list
+
+	// gen counts invalidations; the column-vector cache is tagged with the
+	// generation it was built from and discarded when the table moves on.
+	gen uint64
+
+	colMu   sync.Mutex
+	cols    *colstore.Frame
+	colsGen uint64
 }
 
 // NewTable returns an empty table for def.
@@ -27,9 +39,20 @@ func NewTable(def *catalog.TableDef) *Table {
 	return &Table{Def: def}
 }
 
-// Insert validates and appends a row. Values are coerced to column types;
-// arity and NOT NULL violations are errors.
-func (t *Table) Insert(row types.Row) error {
+// invalidate discards derived structures (hash indexes, column vectors)
+// after the row set changed. One call per logical mutation batch.
+func (t *Table) invalidate() {
+	t.indexes = nil
+	t.gen++
+}
+
+// Generation returns the table's invalidation counter. It changes whenever
+// the row set changes, so derived caches can detect staleness in O(1).
+func (t *Table) Generation() uint64 { return t.gen }
+
+// insertRow validates and appends a row without invalidating caches; callers
+// invalidate once per batch.
+func (t *Table) insertRow(row types.Row) error {
 	if len(row) != len(t.Def.Columns) {
 		return fmt.Errorf("storage: table %q expects %d values, got %d",
 			t.Def.Name, len(t.Def.Columns), len(row))
@@ -47,14 +70,29 @@ func (t *Table) Insert(row types.Row) error {
 		out[i] = cv
 	}
 	t.Rows = append(t.Rows, out)
-	t.indexes = nil // invalidate
 	return nil
 }
 
-// InsertAll appends rows, stopping at the first error.
+// Insert validates and appends a row. Values are coerced to column types;
+// arity and NOT NULL violations are errors.
+func (t *Table) Insert(row types.Row) error {
+	if err := t.insertRow(row); err != nil {
+		return err
+	}
+	t.invalidate()
+	return nil
+}
+
+// InsertAll appends rows, stopping at the first error. Derived caches are
+// invalidated once per batch, not once per row, so bulk loads do not
+// repeatedly discard (and any interleaved reader rebuild) indexes.
 func (t *Table) InsertAll(rows []types.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	defer t.invalidate()
 	for _, r := range rows {
-		if err := t.Insert(r); err != nil {
+		if err := t.insertRow(r); err != nil {
 			return err
 		}
 	}
@@ -99,7 +137,27 @@ func (t *Table) Distinct() {
 		}
 	}
 	t.Rows = out
-	t.indexes = nil
+	t.invalidate()
+}
+
+// Columns returns the table's columnar image (typed vectors, dictionary-
+// encoded TEXT, null bitmaps), building it lazily on first use and caching
+// it until the next mutation. Safe for concurrent readers: the build is
+// guarded by a mutex and tagged with the generation it was built from, the
+// same counter that invalidates hash indexes.
+func (t *Table) Columns() *colstore.Frame {
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	if t.cols != nil && t.colsGen == t.gen && t.cols.Rows() == len(t.Rows) {
+		return t.cols
+	}
+	kinds := make([]types.Kind, len(t.Def.Columns))
+	for i, c := range t.Def.Columns {
+		kinds[i] = c.Type
+	}
+	t.cols = colstore.NewFrame(kinds, t.Rows)
+	t.colsGen = t.gen
+	return t.cols
 }
 
 // HashIndex maps composite key hashes to row positions; used by hash joins

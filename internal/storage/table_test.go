@@ -201,3 +201,57 @@ func TestHashIndexRandomized(t *testing.T) {
 		}
 	}
 }
+
+// TestColumnsCacheAndGeneration: the columnar frame is built lazily, cached
+// until the table changes, and invalidated by the same generation counter as
+// the hash indexes. A batch InsertAll bumps the generation exactly once.
+func TestColumnsCacheAndGeneration(t *testing.T) {
+	tab := newTable(t)
+	rows := []types.Row{
+		{types.NewInt(1), types.NewText("a"), types.NewFloat(1.5)},
+		{types.NewInt(2), types.NewText("b"), types.Null()},
+		{types.NewInt(3), types.Null(), types.NewFloat(3.5)},
+	}
+	g0 := tab.Generation()
+	if err := tab.InsertAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Generation(); got != g0+1 {
+		t.Fatalf("InsertAll of %d rows bumped generation %d times, want once", len(rows), got-g0)
+	}
+
+	f := tab.Columns()
+	if f.Rows() != 3 {
+		t.Fatalf("frame rows = %d, want 3", f.Rows())
+	}
+	if tab.Columns() != f {
+		t.Fatal("Columns() rebuilt the frame without any table change")
+	}
+
+	// A single insert invalidates; the next Columns() sees the new row.
+	if err := tab.Insert(types.Row{types.NewInt(4), types.NewText("a"), types.Null()}); err != nil {
+		t.Fatal(err)
+	}
+	f2 := tab.Columns()
+	if f2 == f {
+		t.Fatal("Columns() returned a stale frame after Insert")
+	}
+	if f2.Rows() != 4 {
+		t.Fatalf("frame rows after insert = %d, want 4", f2.Rows())
+	}
+	// Frame values reconstruct the stored rows exactly.
+	for j, row := range tab.Rows {
+		for c := range row {
+			if !types.Equal(f2.Col(c).Value(j), row[c]) {
+				t.Fatalf("frame[%d][%d] = %v, want %v", c, j, f2.Col(c).Value(j), row[c])
+			}
+		}
+	}
+
+	// Distinct mutates rows in place and must invalidate too.
+	tab.Distinct()
+	f3 := tab.Columns()
+	if f3.Rows() != len(tab.Rows) {
+		t.Fatalf("frame rows after Distinct = %d, want %d", f3.Rows(), len(tab.Rows))
+	}
+}

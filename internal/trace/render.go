@@ -185,6 +185,12 @@ func spanLine(sp *Span) string {
 	}
 
 	var ann []string
+	if sp.Vec {
+		ann = append(ann, "vectorized")
+	}
+	if sp.Dict > 0 {
+		ann = append(ann, fmt.Sprintf("dict %d", sp.Dict))
+	}
 	if sp.BuildNS > 0 {
 		ann = append(ann, "build "+ms(sp.BuildNS))
 	}

@@ -59,6 +59,17 @@ type Span struct {
 	// spans).
 	Bytes int `json:"bytes,omitempty"`
 
+	// Vec marks an operator that ran on the vectorized (colstore) path.
+	// Run-invariant for a fixed configuration but excluded from
+	// CountsFingerprint so vectorized and row-path executions of the same
+	// query fingerprint identically — the flag is the only allowed
+	// difference between the two traces.
+	Vec bool `json:"vec,omitempty"`
+	// Dict is the total number of distinct dictionary entries across the
+	// TEXT columns of a vectorized scan's frame. Excluded from
+	// CountsFingerprint (like Vec).
+	Dict int `json:"dict,omitempty"`
+
 	// Par is the effective degree of parallelism the operator ran at.
 	Par int `json:"par,omitempty"`
 	// Morsels is the number of row chunks the probe/scan was split into.

@@ -1,7 +1,6 @@
 package types
 
 import (
-	"hash/fnv"
 	"strings"
 )
 
@@ -31,21 +30,23 @@ func (r Row) Equal(o Row) bool {
 }
 
 // Hash returns a hash of the whole row consistent with Equal.
+// Allocation-free: chains the inlined FNV-1a hasher over all cells.
 func (r Row) Hash() uint64 {
-	h := fnv.New64a()
+	h := FNVOffset64
 	for i := range r {
-		r[i].HashInto(h)
+		h = r[i].HashFNV(h)
 	}
-	return h.Sum64()
+	return h
 }
 
 // HashKey returns a hash of the projection of r onto cols.
+// Allocation-free: chains the inlined FNV-1a hasher over the key cells.
 func (r Row) HashKey(cols []int) uint64 {
-	h := fnv.New64a()
+	h := FNVOffset64
 	for _, c := range cols {
-		r[c].HashInto(h)
+		h = r[c].HashFNV(h)
 	}
-	return h.Sum64()
+	return h
 }
 
 // Project returns a new row containing only the listed column positions.

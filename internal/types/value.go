@@ -5,7 +5,6 @@ package types
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -202,11 +201,74 @@ func Compare(a, b Value) int {
 // (NULL equals NULL, 1 equals 1.0).
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
+// FNV-1a parameters shared by the row hasher and the columnar hasher in
+// internal/colstore. Hashing is defined as a byte-stream FNV-1a over the
+// encoding produced by HashInto; HashFNV computes the identical stream
+// without going through a heap-allocated hash.Hash64.
+const (
+	// FNVOffset64 is the 64-bit FNV-1a offset basis (initial hash state).
+	FNVOffset64 uint64 = 14695981039346656037
+	// FNVPrime64 is the 64-bit FNV prime.
+	FNVPrime64 uint64 = 1099511628211
+)
+
+// FNVByte advances an FNV-1a state by one byte.
+func FNVByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * FNVPrime64 }
+
+// FNVUint64LE advances an FNV-1a state by the 8 little-endian bytes of v.
+func FNVUint64LE(h, v uint64) uint64 {
+	h = (h ^ (v & 0xff)) * FNVPrime64
+	h = (h ^ ((v >> 8) & 0xff)) * FNVPrime64
+	h = (h ^ ((v >> 16) & 0xff)) * FNVPrime64
+	h = (h ^ ((v >> 24) & 0xff)) * FNVPrime64
+	h = (h ^ ((v >> 32) & 0xff)) * FNVPrime64
+	h = (h ^ ((v >> 40) & 0xff)) * FNVPrime64
+	h = (h ^ ((v >> 48) & 0xff)) * FNVPrime64
+	h = (h ^ (v >> 56)) * FNVPrime64
+	return h
+}
+
+// FNVString advances an FNV-1a state by the bytes of s (no terminator).
+func FNVString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * FNVPrime64
+	}
+	return h
+}
+
+// HashFNV advances the FNV-1a state h by v's hash encoding. The byte stream
+// is exactly the one HashInto writes, so
+//
+//	v.HashFNV(FNVOffset64) == fnv.New64a() → v.HashInto(h) → h.Sum64()
+//
+// but with zero allocations. Chaining HashFNV over several values hashes the
+// composite key, identically to Row.HashKey.
+func (v Value) HashFNV(h uint64) uint64 {
+	switch v.kind {
+	case KindNull:
+		return FNVByte(h, 0)
+	case KindInt, KindFloat:
+		h = FNVByte(h, 1)
+		return FNVUint64LE(h, math.Float64bits(v.Float()))
+	case KindText:
+		h = FNVByte(h, 2)
+		h = FNVString(h, v.s)
+		return FNVByte(h, 0xff)
+	case KindBool:
+		h = FNVByte(h, 3)
+		if v.b {
+			return FNVByte(h, 1)
+		}
+		return FNVByte(h, 0)
+	default:
+		return h
+	}
+}
+
 // Hash returns a hash consistent with Equal: Equal values hash identically.
+// Allocation-free (inlined FNV-1a; see HashFNV).
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	v.HashInto(h)
-	return h.Sum64()
+	return v.HashFNV(FNVOffset64)
 }
 
 // hashWriter is the subset of hash.Hash64 we need; it lets HashInto feed a

@@ -5,10 +5,12 @@
 # the cache differential gate: cold/warm/post-DML executions byte-identical
 # to an uncached oracle across JOB, star, and hierarchy), the race detector
 # over the concurrency-sensitive packages (the morsel-parallel execution
-# layer, its two main consumers, the tracer, the result cache, and the wire
-# server/client stress tests), a short fuzzing pass over the two
-# byte-hostile surfaces (SQL text in, wire bytes in), and the tracer
-# overhead guard.
+# layer, the columnar store, their consumers, the tracer, the result cache,
+# and the wire server/client stress tests), the vectorized differential gate
+# (colstore execution byte-identical to the row-path oracle across
+# parallelism degrees and cache settings), a vectorized benchmark smoke, a
+# short fuzzing pass over the two byte-hostile surfaces (SQL text in, wire
+# bytes in), and the tracer overhead guard.
 set -eu
 
 cd "$(dirname "$0")"
@@ -22,13 +24,19 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel, engine, core, bloom, trace, db, cache, wire)"
-go test -race ./internal/parallel ./internal/engine ./internal/core \
-	./internal/bloom ./internal/trace ./internal/db \
+echo "== go test -race (parallel, colstore, engine, core, bloom, trace, db, cache, wire)"
+go test -race ./internal/parallel ./internal/colstore ./internal/engine \
+	./internal/core ./internal/bloom ./internal/trace ./internal/db \
 	./internal/cache ./internal/wire
 
 echo "== cache differential + stress gate (cold/warm/invalidate vs uncached oracle, under -race)"
 go test -race -run 'TestCacheDifferential|TestServerCacheStress' -count=1 ./internal/wire
+
+echo "== vectorized differential gate (colstore candidates vs row-path oracle, par x cache, under -race)"
+go test -race -run 'TestVectorizedDifferential' -count=1 ./internal/wire
+
+echo "== vectorized benchmark smoke (both paths run once on the 16b plan)"
+go test -run '^$' -bench 'BenchmarkVectorized(Join|Reduce)16b' -benchtime 1x .
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
