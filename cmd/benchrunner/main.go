@@ -38,16 +38,17 @@ func main() {
 		traceFile = flag.String("trace", "", "write JSON execution traces of the selected RESULTDB queries to this file and exit")
 		cacheRep  = flag.Bool("cache", false, "report cold vs warm timings with the semantic result cache and exit")
 		vecRep    = flag.Bool("vec", false, "report row-path vs vectorized-path timings per JOB query and exit")
+		wireRep   = flag.String("wire", "", "report per-query encoded payload size, encode time and modeled transfer time for the listed wire versions (comma list of v1,v2) and exit")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *reps, *mbps, *queries, *par, *traceFile, *cacheRep, *vecRep); err != nil {
+	if err := run(*exp, *scale, *reps, *mbps, *queries, *par, *traceFile, *cacheRep, *vecRep, *wireRep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, reps int, mbps float64, queryList string, par int, traceFile string, cacheRep, vecRep bool) error {
+func run(exp string, scale float64, reps int, mbps float64, queryList string, par int, traceFile string, cacheRep, vecRep bool, wireRep string) error {
 	var names []string
 	if queryList != "" {
 		names = strings.Split(queryList, ",")
@@ -56,7 +57,7 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string, pa
 		}
 	}
 
-	needsJOB := exp != "fig7" && exp != "ssb" || traceFile != "" || cacheRep || vecRep
+	needsJOB := exp != "fig7" && exp != "ssb" || traceFile != "" || cacheRep || vecRep || wireRep != ""
 	var env *bench.Env
 	if needsJOB {
 		start := time.Now()
@@ -79,6 +80,9 @@ func run(exp string, scale float64, reps int, mbps float64, queryList string, pa
 	}
 	if vecRep {
 		return vecReport(env, names, scale, par)
+	}
+	if wireRep != "" {
+		return wireReport(env, names, scale, par, mbps, wireRep)
 	}
 
 	want := func(name string) bool { return exp == name || exp == "all" }
@@ -278,6 +282,103 @@ func vecReport(env *bench.Env, names []string, scale float64, par int) error {
 	}
 	if n > 0 {
 		fmt.Printf("\ngeomean speedup: %.2fx over %d queries\n", math.Exp(logSum/float64(n)), n)
+	}
+	return nil
+}
+
+// wireReport executes each selected JOB query as SELECT RESULTDB once, then
+// encodes the result at every requested wire format version, reporting the
+// encoded payload size, the median encode time, and the modeled transfer
+// time at the configured DTR — plus, when both versions are requested, the
+// per-query and geometric-mean v1/v2 compression ratio. The decoded results
+// are byte-identical across versions (the differential gate asserts it);
+// only bytes and time differ.
+func wireReport(env *bench.Env, names []string, scale float64, par int, mbps float64, versionList string) error {
+	var versions []int
+	for _, v := range strings.Split(versionList, ",") {
+		switch strings.TrimSpace(v) {
+		case "v1":
+			versions = append(versions, wire.FormatV1)
+		case "v2":
+			versions = append(versions, wire.FormatV2)
+		default:
+			return fmt.Errorf("-wire: unknown version %q (want a comma list of v1,v2)", v)
+		}
+	}
+	qs := job.Queries()
+	if len(names) > 0 {
+		var picked []job.Query
+		for _, name := range names {
+			q, err := job.QueryByName(name)
+			if err != nil {
+				return err
+			}
+			picked = append(picked, q)
+		}
+		qs = picked
+	}
+	reps := env.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	model := wire.TransferModel{Mbps: mbps}
+	vname := func(v int) string {
+		if v == wire.FormatV2 {
+			return "v2"
+		}
+		return "v1"
+	}
+
+	fmt.Printf("Wire format sweep: SELECT RESULTDB payloads (JOB scale %.2f, par %d, %.0f Mbps DTR, median of %d encodes)\n",
+		scale, parallel.Degree(par), mbps, reps)
+	fmt.Printf("%-6s", "query")
+	for _, v := range versions {
+		fmt.Printf(" %12s %9s %9s", vname(v)+" bytes", "enc ms", "xfer ms")
+	}
+	both := len(versions) == 2
+	if both {
+		fmt.Printf(" %8s", "ratio")
+	}
+	fmt.Println()
+
+	logSum, n := 0.0, 0
+	for _, q := range qs {
+		sql := "SELECT RESULTDB" + strings.TrimPrefix(strings.TrimSpace(q.SQL), "SELECT")
+		res, err := env.DB.Exec(sql)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", q.Name, err)
+		}
+		fmt.Printf("%-6s", q.Name)
+		bytesByVersion := make(map[int]int)
+		for _, v := range versions {
+			opts := wire.EncodeOptions{Version: v, Parallelism: par}
+			times := make([]time.Duration, reps)
+			var size int
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				payload := wire.EncodeResultOptions(res, opts)
+				times[r] = time.Since(start)
+				size = len(payload)
+			}
+			sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+			enc := times[len(times)/2]
+			bytesByVersion[v] = size
+			fmt.Printf(" %12d %9.3f %9.3f", size,
+				float64(enc.Nanoseconds())/1e6, float64(model.Duration(size).Nanoseconds())/1e6)
+		}
+		if both {
+			ratio := float64(bytesByVersion[versions[0]]) / float64(bytesByVersion[versions[1]])
+			if versions[0] == wire.FormatV2 {
+				ratio = 1 / ratio
+			}
+			logSum += math.Log(ratio)
+			n++
+			fmt.Printf(" %7.2fx", ratio)
+		}
+		fmt.Println()
+	}
+	if both && n > 0 {
+		fmt.Printf("\ngeomean compression ratio (v1/v2 bytes): %.2fx over %d queries\n", math.Exp(logSum/float64(n)), n)
 	}
 	return nil
 }

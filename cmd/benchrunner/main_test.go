@@ -18,7 +18,7 @@ func TestRunEachExperiment(t *testing.T) {
 			if exp == "ablation-fold" {
 				queries = "6a"
 			}
-			if err := run(exp, 0.02, 1, 100, queries, 0, "", false, false); err != nil {
+			if err := run(exp, 0.02, 1, 100, queries, 0, "", false, false, ""); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -26,7 +26,7 @@ func TestRunEachExperiment(t *testing.T) {
 }
 
 func TestRunRejectsUnknownQueries(t *testing.T) {
-	if err := run("table1", 0.02, 1, 100, "zz", 0, "", false, false); err == nil {
+	if err := run("table1", 0.02, 1, 100, "zz", 0, "", false, false, ""); err == nil {
 		t.Fatal("unknown query should error")
 	}
 }
@@ -36,8 +36,21 @@ func TestRunCacheReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cache report smoke test is not -short")
 	}
-	if err := run("all", 0.02, 1, 100, "3c,9c", 0, "", true, false); err != nil {
+	if err := run("all", 0.02, 1, 100, "3c,9c", 0, "", true, false, ""); err != nil {
 		t.Fatalf("cache report: %v", err)
+	}
+}
+
+// TestRunWireReport smoke-tests the -wire payload sweep.
+func TestRunWireReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire report smoke test is not -short")
+	}
+	if err := run("all", 0.02, 1, 100, "3c,9c", 0, "", false, false, "v1,v2"); err != nil {
+		t.Fatalf("wire report: %v", err)
+	}
+	if err := run("all", 0.02, 1, 100, "3c", 0, "", false, false, "v3"); err == nil {
+		t.Fatal("unknown wire version should error")
 	}
 }
 
@@ -46,7 +59,7 @@ func TestRunVecReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("vec report smoke test is not -short")
 	}
-	if err := run("all", 0.02, 1, 100, "3c,9c", 0, "", false, true); err != nil {
+	if err := run("all", 0.02, 1, 100, "3c,9c", 0, "", false, true, ""); err != nil {
 		t.Fatalf("vec report: %v", err)
 	}
 }

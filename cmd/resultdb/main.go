@@ -12,7 +12,9 @@
 // Shell meta-commands: \d (list tables), \d NAME (describe), \timing
 // (toggle timings), \trace (toggle per-query JSON execution traces),
 // \strategy semijoin|decompose, \cache [on|off|clear|SIZE] (semantic result
-// cache), \save FILE and \open FILE (binary database snapshots), \q (quit).
+// cache), \wire [v1|v2|off] (show each result's encoded wire size at a
+// payload version), \save FILE and \open FILE (binary database snapshots),
+// \q (quit).
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"resultdb/internal/db"
 	"resultdb/internal/snapshot"
 	"resultdb/internal/sqlparse"
+	"resultdb/internal/wire"
 	"resultdb/internal/workload/hierarchy"
 	"resultdb/internal/workload/job"
 	"resultdb/internal/workload/star"
@@ -122,6 +125,9 @@ type shell struct {
 	out    *os.File
 	timing bool
 	trace  bool
+	// wireVer, when "v1" or "v2", prints each result's encoded payload size
+	// at that wire format version (and the compression ratio for "v2").
+	wireVer string
 }
 
 func (s *shell) repl(in *os.File) {
@@ -197,6 +203,23 @@ func (s *shell) meta(cmd string) bool {
 				st.Entries, st.Bytes, st.Budget, st.Hits, st.Misses, st.Invalidations, st.Evictions, st.Collapsed)
 		} else {
 			fmt.Fprintln(s.out, "cache off")
+		}
+	case "\\wire":
+		if len(fields) == 2 {
+			switch fields[1] {
+			case "v1", "v2":
+				s.wireVer = fields[1]
+			case "off":
+				s.wireVer = ""
+			default:
+				fmt.Fprintln(s.out, "usage: \\wire [v1|v2|off]")
+				return false
+			}
+		}
+		if s.wireVer == "" {
+			fmt.Fprintln(s.out, "wire size display off")
+		} else {
+			fmt.Fprintf(s.out, "wire size display %s\n", s.wireVer)
 		}
 	case "\\strategy":
 		if len(fields) == 2 {
@@ -339,5 +362,15 @@ func (s *shell) printResult(res *db.Result) {
 	}
 	if res.Stats != nil {
 		fmt.Fprintf(s.out, "-- %s\n", res.Stats)
+	}
+	if s.wireVer != "" {
+		par := s.db.CoreOptions.Parallelism
+		v1 := len(wire.EncodeResultOptions(res, wire.EncodeOptions{Version: wire.FormatV1, Parallelism: par}))
+		if s.wireVer == "v1" {
+			fmt.Fprintf(s.out, "-- wire v1: %d bytes\n", v1)
+		} else {
+			v2 := len(wire.EncodeResultOptions(res, wire.EncodeOptions{Version: wire.FormatV2, Parallelism: par}))
+			fmt.Fprintf(s.out, "-- wire v2: %d bytes (v1: %d, %.2fx)\n", v2, v1, float64(v1)/float64(v2))
+		}
 	}
 }

@@ -33,6 +33,7 @@ func main() {
 		maxConns     = flag.Int("max-conns", 0, "max concurrently served connections (0 = unlimited)")
 		readTimeout  = flag.Duration("read-timeout", 0, "idle-connection read deadline (0 = none)")
 		writeTimeout = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
+		wireVersion  = flag.String("wire-version", "v2", "highest wire payload version to negotiate: v1 | v2")
 	)
 	flag.Parse()
 
@@ -66,12 +67,21 @@ func main() {
 	srv.MaxConns = *maxConns
 	srv.ReadTimeout = *readTimeout
 	srv.WriteTimeout = *writeTimeout
+	switch *wireVersion {
+	case "v1":
+		srv.MaxVersion = wire.FormatV1
+	case "v2", "":
+		srv.MaxVersion = wire.FormatV2
+	default:
+		fmt.Fprintf(os.Stderr, "resultdbd: -wire-version: unknown version %q (want v1 or v2)\n", *wireVersion)
+		os.Exit(1)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resultdbd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("resultdbd listening on %s (workload=%s cache=%v)\n", bound, *workload, d.CacheEnabled())
+	fmt.Printf("resultdbd listening on %s (workload=%s cache=%v wire=%s)\n", bound, *workload, d.CacheEnabled(), *wireVersion)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -397,6 +397,84 @@ func anyColumn(rows []types.Row, j int) Column {
 	return &AnyColumn{Vals: vals}
 }
 
+// GatherView materializes a new Frame from a subset of v's columns and
+// logical positions: column j of the result is v's frame column cols[j]
+// restricted to the rows order[i] (logical view positions, in output order).
+// Dictionaries and their precomputed hashes are shared with the source —
+// gathering a TEXT column copies uint32 codes, never strings — which is what
+// lets the columnar wire encoder reuse scan-time dictionaries with zero
+// string re-encoding. Column gathers run at degree par; the result is
+// identical at any degree.
+func GatherView(v *View, cols []int, kinds []types.Kind, order []int32, par int) *Frame {
+	f := &Frame{
+		kinds: append([]types.Kind(nil), kinds...),
+		cols:  make([]Column, len(cols)),
+		n:     len(order),
+	}
+	idx := make([]int, len(order))
+	for i, j := range order {
+		idx[i] = v.Index(int(j))
+	}
+	parallel.Each(len(cols), par, func(j int) {
+		f.cols[j] = gatherColumn(v.Frame.cols[cols[j]], idx)
+	})
+	return f
+}
+
+// gatherNulls rebuilds the null bitmap of a gathered column (nil when the
+// gathered rows contain no NULL).
+func gatherNulls(src *Bitmap, idx []int) *Bitmap {
+	if src == nil {
+		return nil
+	}
+	var out *Bitmap
+	for i, j := range idx {
+		if src.Get(j) {
+			if out == nil {
+				out = newBitmap(len(idx))
+			}
+			out.set(i)
+		}
+	}
+	return out
+}
+
+// gatherColumn restricts one column to the frame row indices in idx.
+func gatherColumn(c Column, idx []int) Column {
+	switch c := c.(type) {
+	case *Int64Column:
+		vals := make([]int64, len(idx))
+		for i, j := range idx {
+			vals[i] = c.Vals[j]
+		}
+		return &Int64Column{Vals: vals, Nulls: gatherNulls(c.Nulls, idx)}
+	case *Float64Column:
+		vals := make([]float64, len(idx))
+		for i, j := range idx {
+			vals[i] = c.Vals[j]
+		}
+		return &Float64Column{Vals: vals, Nulls: gatherNulls(c.Nulls, idx)}
+	case *BoolColumn:
+		vals := make([]bool, len(idx))
+		for i, j := range idx {
+			vals[i] = c.Vals[j]
+		}
+		return &BoolColumn{Vals: vals, Nulls: gatherNulls(c.Nulls, idx)}
+	case *TextColumn:
+		codes := make([]uint32, len(idx))
+		for i, j := range idx {
+			codes[i] = c.Codes[j]
+		}
+		return &TextColumn{Codes: codes, Dict: c.Dict, DictHash: c.DictHash, Nulls: gatherNulls(c.Nulls, idx)}
+	default:
+		vals := make([]types.Value, len(idx))
+		for i, j := range idx {
+			vals[i] = c.Value(j)
+		}
+		return &AnyColumn{Vals: vals}
+	}
+}
+
 // View is a Frame restricted to a selection vector: Sel lists the surviving
 // frame row indices in ascending order; nil Sel means all rows. Engine
 // relations carry a View alongside their materialized rows so downstream

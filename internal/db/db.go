@@ -13,6 +13,7 @@ import (
 
 	"resultdb/internal/cache"
 	"resultdb/internal/catalog"
+	"resultdb/internal/colstore"
 	"resultdb/internal/core"
 	"resultdb/internal/engine"
 	"resultdb/internal/sqlparse"
@@ -114,6 +115,12 @@ type ResultSet struct {
 	Name    string
 	Columns []string
 	Rows    []types.Row
+	// Vec, when non-nil, is a columnar view aligned with Rows (same values,
+	// same order, one frame column per Columns entry). It is attached by the
+	// vectorized execution path and consumed by the columnar wire encoder,
+	// which reuses its TEXT dictionaries instead of re-deduplicating strings.
+	// Purely an accelerator: Rows alone fully determine the result.
+	Vec *colstore.View
 }
 
 // WireSize returns the Section 6.1 result-set size in bytes.
@@ -436,7 +443,7 @@ func (d *Database) execCreateMatView(s *sqlparse.CreateMaterializedView) (*Resul
 // createResultDBView materializes a subdatabase view (use case 2 of the
 // paper): one materialized view per output relation, named <view>_<alias>.
 func (d *Database) createResultDBView(s *sqlparse.CreateMaterializedView) (*Result, error) {
-	res, err := d.queryResultDBLocked(s.Query, ModeRDBRP, nil)
+	res, err := d.queryResultDBLocked(s.Query, ModeRDBRP, nil, nil)
 	if err != nil {
 		return nil, err
 	}

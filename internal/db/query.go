@@ -74,9 +74,9 @@ func (d *Database) queryUncachedLocked(sel *sqlparse.Select, tr *trace.Tracer) (
 		if sel.Preserving {
 			mode = ModeRDBRP
 		}
-		return d.queryResultDBLocked(sel, mode, tr)
+		return d.queryResultDBLocked(sel, mode, tr, nil)
 	}
-	return d.querySingleTableLocked(sel, tr)
+	return d.querySingleTableLocked(sel, tr, nil)
 }
 
 // QuerySQL parses and executes a SELECT given as text.
@@ -94,14 +94,17 @@ func (d *Database) QuerySQL(sql string) (*Result, error) {
 func (d *Database) QueryResultDB(sel *sqlparse.Select, mode Mode) (*Result, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.queryResultDBLocked(sel, mode, nil)
+	return d.queryResultDBLocked(sel, mode, nil, nil)
 }
 
-func (d *Database) querySingleTableLocked(sel *sqlparse.Select, tr *trace.Tracer) (*Result, error) {
+func (d *Database) querySingleTableLocked(sel *sqlparse.Select, tr *trace.Tracer, sink *streamSink) (*Result, error) {
 	tr.SetMode("single-table")
 	ex := d.executorTraced(tr)
 	rel, err := ex.Select(sel)
 	if err != nil {
+		return nil, err
+	}
+	if err := sink.begin(StreamMeta{NumSets: 1}); err != nil {
 		return nil, err
 	}
 	set := relToSet("result", rel, rel.ColumnNames())
@@ -113,10 +116,13 @@ func (d *Database) querySingleTableLocked(sel *sqlparse.Select, tr *trace.Tracer
 		tr.AddRowsOut(len(set.Rows))
 		tr.AddBytes(sp.Bytes)
 	}
+	if err := sink.emit(set); err != nil {
+		return nil, err
+	}
 	return &Result{Sets: []*ResultSet{set}}, nil
 }
 
-func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode, tr *trace.Tracer) (*Result, error) {
+func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode, tr *trace.Tracer, sink *streamSink) (*Result, error) {
 	if len(sel.OrderBy) > 0 || sel.Limit != nil {
 		return nil, fmt.Errorf("db: RESULTDB does not support ORDER BY/LIMIT (which relation would they apply to?)")
 	}
@@ -145,6 +151,12 @@ func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode, tr *trac
 	if mode == ModeRDBRP {
 		res.PostJoinPlan = buildPostJoinPlan(spec, outputs)
 	}
+	// The set count and the post-join plan are known before any output
+	// relation is projected — this is what lets a streaming consumer write
+	// the response header first and then ship each relation as it finishes.
+	if err := sink.begin(StreamMeta{NumSets: len(outputs), Plan: res.PostJoinPlan, Stats: stats}); err != nil {
+		return nil, err
+	}
 	for _, alias := range outputs {
 		var attrs []string
 		if mode == ModeRDBRP {
@@ -164,6 +176,9 @@ func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode, tr *trac
 			sp.Bytes = set.WireSize()
 			tr.AddRowsOut(len(set.Rows))
 			tr.AddBytes(sp.Bytes)
+		}
+		if err := sink.emit(set); err != nil {
+			return nil, err
 		}
 		res.Sets = append(res.Sets, set)
 	}
@@ -313,7 +328,14 @@ func projectSet(alias string, rel *engine.Relation, attrs []string, par int) (*R
 }
 
 func relToSet(name string, rel *engine.Relation, columns []string) *ResultSet {
-	return &ResultSet{Name: name, Columns: columns, Rows: rel.Rows}
+	set := &ResultSet{Name: name, Columns: columns, Rows: rel.Rows}
+	// Carry the relation's columnar view when it is aligned with the rows
+	// (same length, one frame column per output column), so the columnar
+	// wire encoder can reuse scan-time dictionaries.
+	if rel.Vec != nil && rel.Vec.Len() == len(rel.Rows) && rel.Vec.Frame.NumCols() == len(columns) {
+		set.Vec = rel.Vec
+	}
+	return set
 }
 
 // setToRelation rebuilds an alias-qualified relation from a result set so it

@@ -1,0 +1,105 @@
+package db
+
+import (
+	"resultdb/internal/core"
+	"resultdb/internal/sqlparse"
+)
+
+// StreamMeta is the response header of a streamed execution: everything a
+// consumer must know before the first result set arrives. For RESULTDB
+// queries the set count and the post-join plan are fixed by the analysis
+// phase, before any output relation is projected, so a wire server can
+// serialize the header and then ship each relation while the executor is
+// still projecting the next one.
+type StreamMeta struct {
+	// NumSets is the exact number of emit calls that will follow.
+	NumSets int
+	// Plan is the shipped post-join recipe (RDBRP results only).
+	Plan *PostJoinPlan
+	// Stats reports the native reduction's work, when that strategy ran.
+	Stats *core.Stats
+}
+
+// streamSink receives a streamed execution, nil-safe: a nil sink turns
+// queryResultDBLocked/querySingleTableLocked back into the plain buffered
+// path at the cost of two nil checks.
+type streamSink struct {
+	beginFn func(StreamMeta) error
+	emitFn  func(*ResultSet) error
+}
+
+func (s *streamSink) begin(m StreamMeta) error {
+	if s == nil {
+		return nil
+	}
+	return s.beginFn(m)
+}
+
+func (s *streamSink) emit(set *ResultSet) error {
+	if s == nil {
+		return nil
+	}
+	return s.emitFn(set)
+}
+
+// ExecStream executes one SQL statement, delivering the result incrementally:
+// begin is called exactly once with the header (set count, post-join plan,
+// reduction stats), then emit once per result set, in result order. For
+// uncached SELECTs the calls interleave with execution — emit(set_i) runs
+// before relation i+1 is projected, which is what makes server-side
+// pipelining (execute ‖ encode ‖ transmit) possible. Cached SELECTs and
+// non-SELECT statements execute fully first and then replay their result
+// through the callbacks, so consumers see one protocol either way.
+//
+// The returned Result is the same value a plain Exec would have produced.
+// An error from begin or emit aborts execution and is returned verbatim; an
+// execution error after begin was already called is returned too — streaming
+// consumers must be prepared to abandon a stream mid-flight.
+func (d *Database) ExecStream(sql string, begin func(StreamMeta) error, emit func(*ResultSet) error) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlparse.Select)
+	if !ok {
+		res, err := d.ExecStatement(st)
+		if err != nil {
+			return nil, err
+		}
+		return res, replayStream(res, begin, emit)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.CoreOptions.ResultCache {
+		// The cache stores whole results (and may return one computed by a
+		// concurrent identical query), so the streamed form is a replay.
+		res, err := d.queryCachedLocked(sel)
+		if err != nil {
+			return nil, err
+		}
+		return res, replayStream(res, begin, emit)
+	}
+	sink := &streamSink{beginFn: begin, emitFn: emit}
+	if sel.ResultDB {
+		mode := ModeRDB
+		if sel.Preserving {
+			mode = ModeRDBRP
+		}
+		return d.queryResultDBLocked(sel, mode, nil, sink)
+	}
+	return d.querySingleTableLocked(sel, nil, sink)
+}
+
+// replayStream feeds an already-materialized result through the streaming
+// callbacks (used for cached results and non-SELECT statements).
+func replayStream(res *Result, begin func(StreamMeta) error, emit func(*ResultSet) error) error {
+	if err := begin(StreamMeta{NumSets: len(res.Sets), Plan: res.PostJoinPlan, Stats: res.Stats}); err != nil {
+		return err
+	}
+	for _, set := range res.Sets {
+		if err := emit(set); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -572,6 +572,15 @@ func (r *Relation) ProjectDistinctPar(cols []int, par int) *Relation {
 				out.Rows[i] = r.Rows[order[i]].Project(cols)
 			}
 		})
+		// Keep the output columnar too: gather the surviving positions into
+		// a frame aligned with out.Rows. Text columns share the source
+		// dictionary (code copies only), which is what lets the columnar
+		// wire encoder ship scan-time dictionaries without re-encoding.
+		kinds := make([]types.Kind, len(out.Cols))
+		for i, c := range out.Cols {
+			kinds[i] = c.Kind
+		}
+		out.Vec = &colstore.View{Frame: colstore.GatherView(r.Vec, cols, kinds, order, par)}
 	}
 
 	if nc <= 1 {

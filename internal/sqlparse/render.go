@@ -253,10 +253,15 @@ func (c *CreateTable) SQL() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "CREATE TABLE %s (", quoteIdent(c.Name))
 	inlinePK := map[string]bool{}
-	for i, col := range c.Columns {
-		if i > 0 {
+	items := 0
+	sep := func() {
+		if items > 0 {
 			b.WriteString(", ")
 		}
+		items++
+	}
+	for _, col := range c.Columns {
+		sep()
 		fmt.Fprintf(&b, "%s %s", quoteIdent(col.Name), col.Type.String())
 		if col.PrimaryKey {
 			b.WriteString(" PRIMARY KEY")
@@ -272,10 +277,12 @@ func (c *CreateTable) SQL() string {
 		}
 	}
 	if len(pkOut) > 0 {
-		fmt.Fprintf(&b, ", PRIMARY KEY (%s)", strings.Join(pkOut, ", "))
+		sep()
+		fmt.Fprintf(&b, "PRIMARY KEY (%s)", strings.Join(pkOut, ", "))
 	}
 	for _, fk := range c.ForeignKeys {
-		fmt.Fprintf(&b, ", FOREIGN KEY (%s) REFERENCES %s (%s)",
+		sep()
+		fmt.Fprintf(&b, "FOREIGN KEY (%s) REFERENCES %s (%s)",
 			joinIdents(fk.Columns), quoteIdent(fk.RefTable), joinIdents(fk.RefColumns))
 	}
 	b.WriteString(")")

@@ -49,6 +49,25 @@ func (r Row) HashKey(cols []int) uint64 {
 	return h
 }
 
+// MakeRows allocates n rows of the given width backed by one contiguous
+// value block (one allocation for all cells instead of one per row), for
+// bulk materializers like the columnar wire decoder. Each returned row is
+// full-length (capacity clipped), so appends never alias a neighbor.
+func MakeRows(n, width int) []Row {
+	rows := make([]Row, n)
+	if n == 0 || width == 0 {
+		for i := range rows {
+			rows[i] = Row{}
+		}
+		return rows
+	}
+	block := make([]Value, n*width)
+	for i := range rows {
+		rows[i] = Row(block[i*width : (i+1)*width : (i+1)*width])
+	}
+	return rows
+}
+
 // Project returns a new row containing only the listed column positions.
 func (r Row) Project(cols []int) Row {
 	out := make(Row, len(cols))

@@ -17,10 +17,19 @@ import (
 	"resultdb/internal/types"
 )
 
-// Format versioning so decoders can reject foreign payloads.
+// Format versioning so decoders can reject foreign payloads. The header
+// version number identifies the payload layout: the original row-major
+// tagged-value format (user-facing "v1") shipped with header version 2; the
+// columnar format of encodev2.go ("v2": null bitmaps, delta/varint integer
+// runs, shared text dictionaries, bit-packed bools, per-column deflate) is
+// header version 3. Decoders accept both; encoders pick via EncodeOptions.
 const (
-	magic   = 0x52444221 // "RDB!"
-	version = 2
+	magic = 0x52444221 // "RDB!"
+
+	// FormatV1 is the row-major tagged-value payload layout ("v1").
+	FormatV1 = 2
+	// FormatV2 is the columnar payload layout ("v2").
+	FormatV2 = 3
 )
 
 // payload flag bits.
@@ -42,6 +51,43 @@ type Encoder struct {
 
 // NewEncoder returns an empty encoder.
 func NewEncoder() *Encoder { return &Encoder{} }
+
+// NewEncoderSized returns an empty encoder whose buffer has the given
+// capacity, so encoding a result of a known shape performs one allocation
+// instead of O(log size) append regrowths (each of which copies the whole
+// buffer built so far).
+func NewEncoderSized(capacity int) *Encoder {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// resultCapacityHint estimates the encoded size of r from its row and column
+// counts alone (no value scan): per-cell costs average a few bytes for
+// varint integers and bools and tens for JOB-style text, so 12 bytes per
+// cell lands within one append-doubling of the real size on the benchmark
+// workloads — close enough that encoding does O(1) allocations either way.
+func resultCapacityHint(r *db.Result) int {
+	h := 16
+	for _, set := range r.Sets {
+		h += setCapacityHint(set)
+	}
+	if p := r.PostJoinPlan; p != nil {
+		h += 16 + 64*len(p.Preds) + 32*len(p.Projection)
+	}
+	return h
+}
+
+// setCapacityHint is resultCapacityHint for a single set (the streaming
+// server sizes each chunk's encoder with it).
+func setCapacityHint(set *db.ResultSet) int {
+	h := 24 + len(set.Name)
+	for _, c := range set.Columns {
+		h += 8 + len(c)
+	}
+	return h + len(set.Rows)*len(set.Columns)*12
+}
 
 // Bytes returns the encoded payload.
 func (e *Encoder) Bytes() []byte { return e.buf }
@@ -107,30 +153,68 @@ func (d *Decoder) Value() (types.Value, error) { return d.value() }
 // Remaining reports the unread byte count.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
 
-// EncodeResult serializes a result: all of its sets plus, when present, the
-// shipped post-join plan (the paper's subdatabase-snapshot extension).
+// EncodeOptions configures EncodeResultOptions.
+type EncodeOptions struct {
+	// Version selects the payload layout: FormatV1 or FormatV2. The zero
+	// value means FormatV1 (the original format), so existing callers are
+	// unaffected.
+	Version int
+	// Parallelism is the degree used for per-column encoding in FormatV2
+	// (0 = auto, 1 = serial). Output bytes are identical at any degree.
+	Parallelism int
+	// Tracer, when enabled, records one "encode" span per result set with
+	// the exact wire bytes the set contributed.
+	Tracer *trace.Tracer
+}
+
+func (o EncodeOptions) version() int {
+	if o.Version == 0 {
+		return FormatV1
+	}
+	return o.Version
+}
+
+// EncodeResult serializes a result in the original v1 format: all of its
+// sets plus, when present, the shipped post-join plan (the paper's
+// subdatabase-snapshot extension).
 func EncodeResult(r *db.Result) []byte {
-	return EncodeResultTraced(r, nil)
+	return EncodeResultOptions(r, EncodeOptions{})
+}
+
+// EncodeResultV2 serializes a result in the columnar v2 format.
+func EncodeResultV2(r *db.Result) []byte {
+	return EncodeResultOptions(r, EncodeOptions{Version: FormatV2})
 }
 
 // EncodeResultTraced is EncodeResult recording one "encode" span per result
 // set (rows in, exact wire bytes contributed by the set) plus the trace's
 // bytes-out counter; tr may be nil (disabled, zero extra cost).
 func EncodeResultTraced(r *db.Result, tr *trace.Tracer) []byte {
-	e := NewEncoder()
-	e.uvarint(magic)
-	e.uvarint(version)
-	var flags uint64
-	if r.PostJoinPlan != nil {
-		flags |= flagHasPlan
+	return EncodeResultOptions(r, EncodeOptions{Tracer: tr})
+}
+
+// EncodeResultOptions serializes a result in the requested format version.
+// Panics on an unknown version (programmer error, like encodeSet's arity
+// check). The streamed server produces exactly these bytes chunk by chunk
+// (encodeHeader + per-set encodeSetVersion + encodePlan), so buffered and
+// streamed transfers are byte-identical.
+func EncodeResultOptions(r *db.Result, opts EncodeOptions) []byte {
+	v := opts.version()
+	if v != FormatV1 && v != FormatV2 {
+		panic(fmt.Sprintf("wire: unknown format version %d", v))
 	}
-	e.uvarint(flags)
-	e.uvarint(uint64(len(r.Sets)))
+	tr := opts.Tracer
+	e := NewEncoderSized(resultCapacityHint(r))
+	e.encodeHeader(v, len(r.Sets), r.PostJoinPlan != nil)
 	for _, set := range r.Sets {
 		before := e.Len()
-		e.encodeSet(set)
+		e.encodeSetVersion(set, v, opts.Parallelism)
 		if sp := tr.Span("encode", set.Name); sp != nil {
 			sp.Phase = "wire"
+			if v == FormatV2 {
+				sp.Detail = "v2 columnar"
+				sp.Vec = set.Vec != nil
+			}
 			sp.RowsIn = len(set.Rows)
 			sp.RowsOut = len(set.Rows)
 			sp.Bytes = e.Len() - before
@@ -147,6 +231,30 @@ func EncodeResultTraced(r *db.Result, tr *trace.Tracer) []byte {
 		}
 	}
 	return e.Bytes()
+}
+
+// encodeHeader writes the payload prologue: magic, version, flags, set
+// count. For RESULTDB queries all three inputs are known before the first
+// relation is projected, which is what lets the streaming server emit the
+// header first and the sets as they are produced.
+func (e *Encoder) encodeHeader(version, nSets int, hasPlan bool) {
+	e.uvarint(magic)
+	e.uvarint(uint64(version))
+	var flags uint64
+	if hasPlan {
+		flags |= flagHasPlan
+	}
+	e.uvarint(flags)
+	e.uvarint(uint64(nSets))
+}
+
+// encodeSetVersion writes one result set in the given format version.
+func (e *Encoder) encodeSetVersion(set *db.ResultSet, version, par int) {
+	if version == FormatV2 {
+		e.encodeSetV2(set, par)
+		return
+	}
+	e.encodeSet(set)
 }
 
 func (e *Encoder) encodePlan(p *db.PostJoinPlan) {
@@ -279,8 +387,46 @@ func (d *Decoder) count(minBytes int, what string) (int, error) {
 	return int(n), nil
 }
 
-// DecodeResult parses a payload produced by EncodeResult.
+// PayloadVersion reports the format version of an encoded payload
+// (FormatV1 or FormatV2) without decoding it.
+func PayloadVersion(buf []byte) (int, error) {
+	d := NewDecoder(buf)
+	m, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if m != magic {
+		return 0, fmt.Errorf("wire: bad magic %#x", m)
+	}
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v != FormatV1 && v != FormatV2 {
+		return 0, fmt.Errorf("wire: unsupported version %d", v)
+	}
+	return int(v), nil
+}
+
+// DecodeResult parses a payload produced by EncodeResultOptions in either
+// format version.
 func DecodeResult(buf []byte) (*db.Result, error) {
+	return decodeResult(buf, 0)
+}
+
+// DecodeResultExpect is DecodeResult restricted to one format version: a
+// payload in any other version is rejected before its sets are touched.
+// Clients use it to enforce the version they negotiated, so a server (or a
+// middlebox) cannot downgrade or upgrade the stream silently.
+func DecodeResultExpect(buf []byte, version int) (*db.Result, error) {
+	if version != FormatV1 && version != FormatV2 {
+		return nil, fmt.Errorf("wire: unknown expected version %d", version)
+	}
+	return decodeResult(buf, version)
+}
+
+// decodeResult parses a payload; expect 0 accepts any supported version.
+func decodeResult(buf []byte, expect int) (*db.Result, error) {
 	d := NewDecoder(buf)
 	m, err := d.uvarint()
 	if err != nil {
@@ -293,8 +439,11 @@ func DecodeResult(buf []byte) (*db.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v != version {
+	if v != FormatV1 && v != FormatV2 {
 		return nil, fmt.Errorf("wire: unsupported version %d", v)
+	}
+	if expect != 0 && int(v) != expect {
+		return nil, fmt.Errorf("wire: version %d payload where version %d was negotiated", v, expect)
 	}
 	flags, err := d.uvarint()
 	if err != nil {
@@ -305,9 +454,18 @@ func DecodeResult(buf []byte) (*db.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The v2 materialization budget: total decoded cells across all sets,
+	// bounded by what a legitimate encoder can express in len(buf) bytes
+	// (see decodeSetV2).
+	budget := newCellBudget(len(buf))
 	res := &db.Result{}
 	for i := 0; i < nSets; i++ {
-		set, err := d.decodeSet()
+		var set *db.ResultSet
+		if v == FormatV2 {
+			set, err = d.decodeSetV2(budget)
+		} else {
+			set, err = d.decodeSet()
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,792 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync"
+
+	"resultdb/internal/colstore"
+	"resultdb/internal/db"
+	"resultdb/internal/parallel"
+	"resultdb/internal/types"
+)
+
+// The v2 payload is column-at-a-time. A set still opens with name, column
+// count, column names, and row count (byte-identical to v1 up to here), but
+// the rows follow as one block per column instead of tagged values row by
+// row. Each column block is
+//
+//	desc byte
+//	[ uvarint compressed-length + deflate stream   — when the flate bit is set ]
+//	[ null bitmap, ceil(n/8) bytes, LSB-first, set bit = NULL — when hasNulls ]
+//	payload
+//
+// (bitmap and payload are what the deflate stream inflates to). The desc
+// byte packs, LSB up: a 2-bit payload variant, the hasNulls bit, a 3-bit
+// column kind, the flate bit, and a reserved zero bit. Payloads by kind:
+//
+//	allNull — nothing: every row is NULL. Only legal for n <= v2AllNullMax,
+//	          so a near-empty column block cannot claim an absurd row count
+//	          (larger all-NULL columns ship as `any`, which deflate crushes).
+//	int     — variant 0: one zigzag varint per non-NULL value.
+//	          variant 1: varint of the first value, then varints of the
+//	          wrapping int64 deltas (exact for any values, tiny for runs of
+//	          ascending keys).
+//	float   — 8 bytes little-endian per non-NULL value.
+//	text    — variant 0: one length-prefixed string per non-NULL value.
+//	          variant 1: uvarint dictionary size, the dictionary strings in
+//	          first-occurrence order, then one uvarint code per non-NULL
+//	          value. When the result set carries a colstore view, codes are
+//	          remapped from the scan-time dictionary without hashing a
+//	          single string.
+//	bool    — non-NULL values bit-packed LSB-first, ceil(nn/8) bytes.
+//	any     — all n values (NULLs included) as v1 tagged values; the
+//	          mixed-kind escape hatch, never has a bitmap.
+//
+// Every choice is pick-the-smaller with a deterministic tie-break, so the
+// encoding is a pure function of the result: parallel and serial encodes,
+// vec-backed and row-backed gathers, streamed and buffered transfers all
+// produce identical bytes. For typed columns the desc byte replaces n tag
+// bytes and the bitmap costs ceil(n/8) <= n-1 of them, so a v2 set never
+// exceeds its v1 size (mixed-kind columns, which none of the workloads
+// produce, cost at most one extra byte each).
+
+// desc byte layout.
+const (
+	colVariantMask = 0x03   // bits 0-1: payload variant
+	colNullsBit    = 1 << 2 // bit 2: null bitmap present
+	colKindShift   = 3      // bits 3-5: column kind
+	colFlateBit    = 1 << 6 // bit 6: bitmap+payload deflate-compressed
+	colReservedBit = 1 << 7 // bit 7: must be zero
+)
+
+// column kinds.
+const (
+	colAllNull = 0
+	colInt     = 1
+	colFloat   = 2
+	colText    = 3
+	colBool    = 4
+	colAny     = 5
+)
+
+// payload variants.
+const (
+	intPlain   = 0
+	intDelta   = 1
+	textInline = 0
+	textDict   = 1
+)
+
+// Decoder-plausibility constants. A v2 column legitimately materializes at
+// most 8256 values per encoded body byte (8 from bool bit-packing times
+// 1032, deflate's maximum compression ratio), plus the v2AllNullMax rows an
+// empty-body all-NULL column may carry. The decoder rejects any column
+// claiming more before allocating, and bounds the total cells of a payload
+// by the same arithmetic, so a hostile header cannot drive allocation
+// beyond a small multiple of the payload size — while every output of the
+// encoder (which enforces v2AllNullMax on its side) decodes.
+const (
+	v2AllNullMax = 1024
+	v2MaxRatio   = 8256
+	v2CellSlack  = 65536
+)
+
+// cellBudget caps the total decoded cells (rows x columns) of one payload.
+type cellBudget struct {
+	cells uint64
+}
+
+func newCellBudget(payloadLen int) *cellBudget {
+	return &cellBudget{cells: uint64(payloadLen)*(v2MaxRatio+v2AllNullMax) + v2CellSlack}
+}
+
+func (b *cellBudget) charge(rows, cols uint64) error {
+	if cols == 0 {
+		return nil
+	}
+	if rows > b.cells/cols {
+		return fmt.Errorf("wire: %d-row set exceeds the payload's materialization budget", rows)
+	}
+	b.cells -= rows * cols
+	return nil
+}
+
+// uvarintLen returns the encoded size of v in bytes.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen returns the encoded (zigzag) size of v in bytes.
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// --- Encoding ----------------------------------------------------------------
+
+// colData is the gathered form of one result column, ready to size and emit.
+type colData struct {
+	n     int
+	nn    int    // non-NULL count
+	nulls []byte // LSB-first bitmap, set bit = NULL; nil when no NULLs
+	kind  int
+
+	ints   []int64   // colInt: non-NULL values in row order
+	floats []float64 // colFloat
+	bools  []bool    // colBool
+	codes  []uint32  // colText: wire code per non-NULL value, row order
+	dict   []string  // colText: first-occurrence dictionary
+}
+
+func (c *colData) setNull(i int) {
+	if c.nulls == nil {
+		c.nulls = make([]byte, (c.n+7)/8)
+	}
+	c.nulls[i>>3] |= 1 << (i & 7)
+}
+
+// encodeSetV2 writes one result set column-at-a-time, parallelizing the
+// per-column encoders at degree par and stitching the blocks in column
+// order (identical bytes at any degree).
+func (e *Encoder) encodeSetV2(set *db.ResultSet, par int) {
+	e.str(set.Name)
+	nCols := len(set.Columns)
+	e.uvarint(uint64(nCols))
+	for _, c := range set.Columns {
+		e.str(c)
+	}
+	e.uvarint(uint64(len(set.Rows)))
+	if len(set.Rows) == 0 || nCols == 0 {
+		return
+	}
+	for _, row := range set.Rows {
+		if len(row) != nCols {
+			panic(fmt.Sprintf("wire: row arity %d != %d columns", len(row), nCols))
+		}
+	}
+	blocks := make([][]byte, nCols)
+	parallel.Each(nCols, par, func(j int) {
+		blocks[j] = encodeColV2(set, j)
+	})
+	for _, b := range blocks {
+		e.buf = append(e.buf, b...)
+	}
+}
+
+// encodeColV2 gathers, sizes, and emits one column block (desc + body).
+func encodeColV2(set *db.ResultSet, j int) []byte {
+	c := gatherCol(set, j)
+	e := NewEncoder()
+	var variant int
+	switch c.kind {
+	case colAllNull:
+		// Nothing: the desc byte alone says every row is NULL.
+	case colInt:
+		plain := 0
+		for _, v := range c.ints {
+			plain += varintLen(v)
+		}
+		delta := varintLen(c.ints[0])
+		for k := 1; k < len(c.ints); k++ {
+			delta += varintLen(c.ints[k] - c.ints[k-1]) // wrapping, exact
+		}
+		if delta < plain {
+			variant = intDelta
+			e.varint(c.ints[0])
+			for k := 1; k < len(c.ints); k++ {
+				e.varint(c.ints[k] - c.ints[k-1])
+			}
+		} else {
+			for _, v := range c.ints {
+				e.varint(v)
+			}
+		}
+	case colFloat:
+		for _, v := range c.floats {
+			e.buf = binary64(e.buf, v)
+		}
+	case colBool:
+		packed := make([]byte, (len(c.bools)+7)/8)
+		for k, v := range c.bools {
+			if v {
+				packed[k>>3] |= 1 << (k & 7)
+			}
+		}
+		e.buf = append(e.buf, packed...)
+	case colText:
+		inline := 0
+		for _, code := range c.codes {
+			s := c.dict[code]
+			inline += uvarintLen(uint64(len(s))) + len(s)
+		}
+		dictSz := uvarintLen(uint64(len(c.dict)))
+		for _, s := range c.dict {
+			dictSz += uvarintLen(uint64(len(s))) + len(s)
+		}
+		for _, code := range c.codes {
+			dictSz += uvarintLen(uint64(code))
+		}
+		if dictSz < inline {
+			variant = textDict
+			e.uvarint(uint64(len(c.dict)))
+			for _, s := range c.dict {
+				e.str(s)
+			}
+			for _, code := range c.codes {
+				e.uvarint(uint64(code))
+			}
+		} else {
+			for _, code := range c.codes {
+				e.str(c.dict[code])
+			}
+		}
+	case colAny:
+		for _, row := range set.Rows {
+			e.value(row[j])
+		}
+	}
+	// Assemble bitmap + payload, then let deflate take a strictly-smaller
+	// shot at the whole body.
+	body := e.buf
+	if c.nulls != nil && c.kind != colAny && c.kind != colAllNull {
+		body = append(append(make([]byte, 0, len(c.nulls)+len(body)), c.nulls...), body...)
+	}
+	desc := byte(variant) | byte(c.kind)<<colKindShift
+	if c.nulls != nil && c.kind != colAny && c.kind != colAllNull {
+		desc |= colNullsBit
+	}
+	if comp, ok := tryFlate(body); ok {
+		out := make([]byte, 0, 1+uvarintLen(uint64(len(comp)))+len(comp))
+		out = append(out, desc|colFlateBit)
+		oe := &Encoder{buf: out}
+		oe.uvarint(uint64(len(comp)))
+		oe.buf = append(oe.buf, comp...)
+		return oe.buf
+	}
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, desc)
+	return append(out, body...)
+}
+
+func binary64(buf []byte, v float64) []byte {
+	bits64 := math.Float64bits(v)
+	return append(buf,
+		byte(bits64), byte(bits64>>8), byte(bits64>>16), byte(bits64>>24),
+		byte(bits64>>32), byte(bits64>>40), byte(bits64>>48), byte(bits64>>56))
+}
+
+// flateWriters pools deflate compressors (their BestCompression state is
+// large) across columns and goroutines.
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, err := flate.NewWriter(io.Discard, flate.BestCompression)
+		if err != nil {
+			panic(err) // only fails for an invalid level
+		}
+		return w
+	},
+}
+
+// tryFlate compresses body and reports whether shipping the compressed form
+// (including its length prefix) is strictly smaller.
+func tryFlate(body []byte) ([]byte, bool) {
+	if len(body) < 16 {
+		return nil, false // can't beat the length prefix + deflate framing
+	}
+	var buf bytes.Buffer
+	w := flateWriters.Get().(*flate.Writer)
+	w.Reset(&buf)
+	if _, err := w.Write(body); err != nil {
+		flateWriters.Put(w)
+		return nil, false
+	}
+	if err := w.Close(); err != nil {
+		flateWriters.Put(w)
+		return nil, false
+	}
+	flateWriters.Put(w)
+	comp := buf.Bytes()
+	if uvarintLen(uint64(len(comp)))+len(comp) >= len(body) {
+		return nil, false
+	}
+	return comp, true
+}
+
+// gatherCol extracts column j of the set into typed vectors. When the set
+// carries an aligned colstore view the gather is vector copies (and, for
+// TEXT, a dictionary remap with zero string hashing); otherwise it scans
+// the rows. Both paths produce identical colData, so the wire bytes do not
+// depend on which executed.
+func gatherCol(set *db.ResultSet, j int) *colData {
+	c := &colData{n: len(set.Rows)}
+	if set.Vec != nil {
+		if ok := gatherColVec(set, j, c); ok {
+			return c
+		}
+		*c = colData{n: len(set.Rows)}
+	}
+	gatherColRows(set, j, c)
+	return c
+}
+
+// gatherColRows is the row-scan gather: classify the column's kind, then
+// collect non-NULL values (two cheap passes).
+func gatherColRows(set *db.ResultSet, j int, c *colData) {
+	kind := types.KindNull
+	mixed := false
+	for _, row := range set.Rows {
+		v := row[j]
+		if v.IsNull() {
+			continue
+		}
+		if kind == types.KindNull {
+			kind = v.Kind()
+		} else if v.Kind() != kind {
+			mixed = true
+			break
+		}
+		c.nn++
+	}
+	if mixed {
+		c.kind = colAny
+		c.nn = 0
+		return
+	}
+	if kind == types.KindNull {
+		c.finishAllNull()
+		return
+	}
+	switch kind {
+	case types.KindInt:
+		c.kind = colInt
+		c.ints = make([]int64, 0, c.nn)
+		for i, row := range set.Rows {
+			if v := row[j]; v.IsNull() {
+				c.setNull(i)
+			} else {
+				c.ints = append(c.ints, v.Int())
+			}
+		}
+	case types.KindFloat:
+		c.kind = colFloat
+		c.floats = make([]float64, 0, c.nn)
+		for i, row := range set.Rows {
+			if v := row[j]; v.IsNull() {
+				c.setNull(i)
+			} else {
+				c.floats = append(c.floats, v.Float())
+			}
+		}
+	case types.KindBool:
+		c.kind = colBool
+		c.bools = make([]bool, 0, c.nn)
+		for i, row := range set.Rows {
+			if v := row[j]; v.IsNull() {
+				c.setNull(i)
+			} else {
+				c.bools = append(c.bools, v.Bool())
+			}
+		}
+	case types.KindText:
+		c.kind = colText
+		c.codes = make([]uint32, 0, c.nn)
+		idx := make(map[string]uint32, 16)
+		for i, row := range set.Rows {
+			v := row[j]
+			if v.IsNull() {
+				c.setNull(i)
+				continue
+			}
+			s := v.Text()
+			code, ok := idx[s]
+			if !ok {
+				code = uint32(len(c.dict))
+				idx[s] = code
+				c.dict = append(c.dict, s)
+			}
+			c.codes = append(c.codes, code)
+		}
+	}
+}
+
+// finishAllNull classifies a column with no non-NULL values. Columns too
+// large for the implicit form fall back to tagged values so the decoder's
+// materialization budget (which charges bytes, not headers) stays sound;
+// deflate then collapses the run of NULL tags to a few bytes.
+func (c *colData) finishAllNull() {
+	if c.n > v2AllNullMax {
+		c.kind = colAny
+		return
+	}
+	c.kind = colAllNull
+}
+
+// gatherColVec gathers from the set's colstore view; reports false for
+// column representations it does not accelerate (AnyColumn), which then
+// take the row-scan path.
+func gatherColVec(set *db.ResultSet, j int, c *colData) bool {
+	col := set.Vec.Frame.Col(j)
+	v := set.Vec
+	n := c.n
+	switch col := col.(type) {
+	case *colstore.Int64Column:
+		c.ints = make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			fi := v.Index(i)
+			if col.Null(fi) {
+				c.setNull(i)
+			} else {
+				c.ints = append(c.ints, col.Vals[fi])
+			}
+		}
+		c.nn = len(c.ints)
+		if c.nn == 0 {
+			c.ints = nil
+			c.nulls = nil
+			c.finishAllNull()
+			return true
+		}
+		c.kind = colInt
+	case *colstore.Float64Column:
+		c.floats = make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			fi := v.Index(i)
+			if col.Null(fi) {
+				c.setNull(i)
+			} else {
+				c.floats = append(c.floats, col.Vals[fi])
+			}
+		}
+		c.nn = len(c.floats)
+		if c.nn == 0 {
+			c.floats = nil
+			c.nulls = nil
+			c.finishAllNull()
+			return true
+		}
+		c.kind = colFloat
+	case *colstore.BoolColumn:
+		c.bools = make([]bool, 0, n)
+		for i := 0; i < n; i++ {
+			fi := v.Index(i)
+			if col.Null(fi) {
+				c.setNull(i)
+			} else {
+				c.bools = append(c.bools, col.Vals[fi])
+			}
+		}
+		c.nn = len(c.bools)
+		if c.nn == 0 {
+			c.bools = nil
+			c.nulls = nil
+			c.finishAllNull()
+			return true
+		}
+		c.kind = colBool
+	case *colstore.TextColumn:
+		// Remap scan-time dictionary codes to wire codes in first-occurrence
+		// order over the result rows — byte-identical to the row-scan path,
+		// without hashing any string.
+		remap := make([]int32, len(col.Dict))
+		for k := range remap {
+			remap[k] = -1
+		}
+		c.codes = make([]uint32, 0, n)
+		for i := 0; i < n; i++ {
+			fi := v.Index(i)
+			if col.Null(fi) {
+				c.setNull(i)
+				continue
+			}
+			src := col.Codes[fi]
+			if remap[src] < 0 {
+				remap[src] = int32(len(c.dict))
+				c.dict = append(c.dict, col.Dict[src])
+			}
+			c.codes = append(c.codes, uint32(remap[src]))
+		}
+		c.nn = len(c.codes)
+		if c.nn == 0 {
+			c.codes = nil
+			c.nulls = nil
+			c.finishAllNull()
+			return true
+		}
+		c.kind = colText
+	default:
+		return false
+	}
+	return true
+}
+
+// --- Decoding ----------------------------------------------------------------
+
+// decodeSetV2 parses one columnar set. Row materialization is bounded by
+// the payload-wide cell budget before any allocation sized by the claimed
+// row count happens.
+func (d *Decoder) decodeSetV2(budget *cellBudget) (*db.ResultSet, error) {
+	name, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	nCols, err := d.count(1, "column") // a column name costs >= 1 byte
+	if err != nil {
+		return nil, err
+	}
+	set := &db.ResultSet{Name: name}
+	for i := 0; i < nCols; i++ {
+		c, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		set.Columns = append(set.Columns, c)
+	}
+	nRows, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nCols == 0 && nRows > 0 {
+		return nil, fmt.Errorf("wire: %d rows in a zero-column set", nRows)
+	}
+	if nRows == 0 || nCols == 0 {
+		return set, nil
+	}
+	// Unlike v1, a v2 row can cost arbitrarily few bytes (that is the
+	// point), so the claimed count is charged against the budget derived
+	// from the payload size instead of Remaining.
+	if err := budget.charge(nRows, uint64(nCols)); err != nil {
+		return nil, err
+	}
+	n := int(nRows)
+	rows := types.MakeRows(n, nCols)
+	for j := 0; j < nCols; j++ {
+		if err := d.decodeColV2(rows, j, n); err != nil {
+			return nil, err
+		}
+	}
+	set.Rows = rows
+	return set, nil
+}
+
+// decodeColV2 parses one column block, filling column j of rows. Cells it
+// does not touch keep the zero types.Value, which is NULL.
+func (d *Decoder) decodeColV2(rows []types.Row, j, n int) error {
+	if d.off >= len(d.buf) {
+		return fmt.Errorf("wire: truncated column descriptor at offset %d", d.off)
+	}
+	desc := d.buf[d.off]
+	d.off++
+	variant := int(desc & colVariantMask)
+	hasNulls := desc&colNullsBit != 0
+	kind := int(desc >> colKindShift & 0x07)
+	flated := desc&colFlateBit != 0
+	if desc&colReservedBit != 0 {
+		return fmt.Errorf("wire: column descriptor %#x has reserved bit set", desc)
+	}
+	if kind > colAny {
+		return fmt.Errorf("wire: unknown column kind %d", kind)
+	}
+	if variant != 0 && kind != colInt && kind != colText {
+		return fmt.Errorf("wire: column kind %d has no variant %d", kind, variant)
+	}
+	if variant > 1 {
+		return fmt.Errorf("wire: unknown payload variant %d", variant)
+	}
+	if hasNulls && (kind == colAllNull || kind == colAny) {
+		return fmt.Errorf("wire: column kind %d cannot carry a null bitmap", kind)
+	}
+
+	// Establish the body reader, bounding the claimed row count by the
+	// bytes that will actually back it before anything is allocated.
+	src := d
+	if flated {
+		clen, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if clen > uint64(d.Remaining()) {
+			return fmt.Errorf("wire: truncated compressed column (%d > %d bytes)", clen, d.Remaining())
+		}
+		if uint64(n) > v2MaxRatio*clen+v2AllNullMax {
+			return fmt.Errorf("wire: %d rows implausible for a %d-byte compressed column", n, clen)
+		}
+		raw, err := inflateColumn(d.buf[d.off:d.off+int(clen)], 1032*int(clen)+64)
+		if err != nil {
+			return err
+		}
+		d.off += int(clen)
+		src = NewDecoder(raw)
+	} else {
+		switch kind {
+		case colAllNull:
+			if n > v2AllNullMax {
+				return fmt.Errorf("wire: %d rows implausible for an implicit all-NULL column", n)
+			}
+		case colAny:
+			if n > d.Remaining() {
+				return fmt.Errorf("wire: %d rows implausible for a %d-byte column", n, d.Remaining())
+			}
+		default:
+			if (n+7)/8 > d.Remaining() {
+				return fmt.Errorf("wire: %d rows implausible for a %d-byte column", n, d.Remaining())
+			}
+		}
+	}
+
+	var nulls []byte
+	nn := n
+	if hasNulls {
+		nb := (n + 7) / 8
+		if src.Remaining() < nb {
+			return fmt.Errorf("wire: truncated null bitmap at offset %d", src.off)
+		}
+		nulls = src.buf[src.off : src.off+nb]
+		src.off += nb
+		if n%8 != 0 && nulls[nb-1]>>(n%8) != 0 {
+			return fmt.Errorf("wire: null bitmap has bits beyond row %d", n)
+		}
+		set := 0
+		for _, b := range nulls {
+			set += bits.OnesCount8(b)
+		}
+		if set == 0 || set == n {
+			return fmt.Errorf("wire: non-canonical null bitmap (%d of %d set)", set, n)
+		}
+		nn = n - set
+	}
+	isNull := func(i int) bool {
+		return nulls != nil && nulls[i>>3]&(1<<(i&7)) != 0
+	}
+
+	switch kind {
+	case colAllNull:
+		// Rows were zero-initialized; zero types.Value is NULL.
+	case colInt:
+		var prev int64
+		first := true
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				continue
+			}
+			v, err := src.varint()
+			if err != nil {
+				return err
+			}
+			if variant == intDelta && !first {
+				prev += v // wrapping, mirrors the encoder exactly
+			} else {
+				prev = v
+			}
+			first = false
+			rows[i][j] = types.NewInt(prev)
+		}
+	case colFloat:
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				continue
+			}
+			if src.Remaining() < 8 {
+				return fmt.Errorf("wire: truncated float column at offset %d", src.off)
+			}
+			b := src.buf[src.off:]
+			bits64 := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+				uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+			src.off += 8
+			rows[i][j] = types.NewFloat(math.Float64frombits(bits64))
+		}
+	case colBool:
+		nb := (nn + 7) / 8
+		if src.Remaining() < nb {
+			return fmt.Errorf("wire: truncated bool column at offset %d", src.off)
+		}
+		packed := src.buf[src.off : src.off+nb]
+		src.off += nb
+		if nn%8 != 0 && nb > 0 && packed[nb-1]>>(nn%8) != 0 {
+			return fmt.Errorf("wire: bool column has bits beyond value %d", nn)
+		}
+		k := 0
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				continue
+			}
+			rows[i][j] = types.NewBool(packed[k>>3]&(1<<(k&7)) != 0)
+			k++
+		}
+	case colText:
+		if variant == textDict {
+			nDict, err := src.count(1, "dictionary entry")
+			if err != nil {
+				return err
+			}
+			dict := make([]types.Value, nDict)
+			for k := 0; k < nDict; k++ {
+				s, err := src.str()
+				if err != nil {
+					return err
+				}
+				dict[k] = types.NewText(s)
+			}
+			for i := 0; i < n; i++ {
+				if isNull(i) {
+					continue
+				}
+				code, err := src.uvarint()
+				if err != nil {
+					return err
+				}
+				if code >= uint64(nDict) {
+					return fmt.Errorf("wire: dictionary code %d out of range (%d entries)", code, nDict)
+				}
+				rows[i][j] = dict[code]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if isNull(i) {
+					continue
+				}
+				s, err := src.str()
+				if err != nil {
+					return err
+				}
+				rows[i][j] = types.NewText(s)
+			}
+		}
+	case colAny:
+		for i := 0; i < n; i++ {
+			v, err := src.value()
+			if err != nil {
+				return err
+			}
+			rows[i][j] = v
+		}
+	}
+	if flated && src.off != len(src.buf) {
+		return fmt.Errorf("wire: %d trailing bytes in compressed column", len(src.buf)-src.off)
+	}
+	return nil
+}
+
+// inflateColumn decompresses a deflate stream with a hard output cap (1032
+// is deflate's maximum compression ratio, so anything past 1032x the input
+// is hostile by construction).
+func inflateColumn(comp []byte, limit int) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(comp))
+	defer fr.Close()
+	out, err := io.ReadAll(io.LimitReader(fr, int64(limit)+1))
+	if err != nil {
+		return nil, fmt.Errorf("wire: corrupt compressed column: %w", err)
+	}
+	if len(out) > limit {
+		return nil, fmt.Errorf("wire: compressed column inflates past the deflate ratio bound")
+	}
+	return out, nil
+}

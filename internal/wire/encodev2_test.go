@@ -1,0 +1,455 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"resultdb/internal/colstore"
+	"resultdb/internal/db"
+	"resultdb/internal/types"
+)
+
+// oneSet wraps a single result set in a Result.
+func oneSet(name string, cols []string, rows []types.Row) *db.Result {
+	return &db.Result{Sets: []*db.ResultSet{{Name: name, Columns: cols, Rows: rows}}}
+}
+
+// mustRoundTripV2 encodes r at v2, decodes, and checks value equality by
+// comparing canonical v1 re-encodings (v1 is injective on results, so byte
+// equality there is value equality). Returns the v2 payload.
+func mustRoundTripV2(t *testing.T, r *db.Result) []byte {
+	t.Helper()
+	enc := EncodeResultV2(r)
+	if v, err := PayloadVersion(enc); err != nil || v != FormatV2 {
+		t.Fatalf("PayloadVersion = %d, %v; want %d", v, err, FormatV2)
+	}
+	dec, err := DecodeResult(enc)
+	if err != nil {
+		t.Fatalf("v2 payload does not decode: %v", err)
+	}
+	if got, want := EncodeResult(dec), EncodeResult(r); !bytes.Equal(got, want) {
+		t.Fatalf("v2 round trip altered the result\n got: %x\nwant: %x", got, want)
+	}
+	return enc
+}
+
+func TestV2RoundTripValueExtremes(t *testing.T) {
+	nan := math.NaN()
+	r := oneSet("x",
+		[]string{"i", "f", "s", "b", "ni"},
+		[]types.Row{
+			{types.NewInt(math.MaxInt64), types.NewFloat(nan), types.NewText(""), types.NewBool(true), types.Null()},
+			{types.NewInt(math.MinInt64), types.NewFloat(math.Copysign(0, -1)), types.NewText("it's"), types.NewBool(false), types.NewInt(0)},
+			{types.NewInt(0), types.NewFloat(math.Inf(1)), types.NewText(strings.Repeat("z", 300)), types.Null(), types.Null()},
+			{types.Null(), types.NewFloat(math.Inf(-1)), types.Null(), types.NewBool(true), types.NewInt(-1)},
+		})
+	enc := mustRoundTripV2(t, r)
+	// Bit-level float checks: NaN payload and -0 sign must survive.
+	dec, err := DecodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := dec.Sets[0].Rows
+	if !math.IsNaN(rows[0][1].Float()) {
+		t.Error("NaN did not survive the v2 round trip")
+	}
+	if f := rows[1][1].Float(); f != 0 || !math.Signbit(f) {
+		t.Errorf("-0.0 became %v", f)
+	}
+}
+
+func TestV2EmptyShapes(t *testing.T) {
+	for _, r := range []*db.Result{
+		{},
+		{Sets: []*db.ResultSet{{Name: "empty"}}},
+		oneSet("nocols", nil, nil),
+		oneSet("norows", []string{"a", "b"}, nil),
+	} {
+		v2 := mustRoundTripV2(t, r)
+		v1 := EncodeResult(r)
+		// Zero-row sets have no column blocks: v2 matches v1 byte for byte
+		// except the version number in the header.
+		if len(v2) != len(v1) {
+			t.Errorf("empty-shape v2 size %d != v1 size %d", len(v2), len(v1))
+		}
+	}
+}
+
+func TestV2AllNullColumns(t *testing.T) {
+	small := make([]types.Row, 100)
+	for i := range small {
+		small[i] = types.Row{types.Null(), types.NewInt(int64(i))}
+	}
+	r := oneSet("s", []string{"nul", "id"}, small)
+	enc := mustRoundTripV2(t, r)
+	if v1 := EncodeResult(r); len(enc) >= len(v1) {
+		t.Errorf("all-NULL column: v2 %d bytes >= v1 %d bytes", len(enc), len(v1))
+	}
+
+	// Larger than v2AllNullMax: the implicit form is off the table, the
+	// column ships as tagged values, deflate crushes the run — and it must
+	// still round-trip and beat v1.
+	large := make([]types.Row, v2AllNullMax+500)
+	for i := range large {
+		large[i] = types.Row{types.Null()}
+	}
+	r = oneSet("l", []string{"nul"}, large)
+	enc = mustRoundTripV2(t, r)
+	if v1 := EncodeResult(r); len(enc) >= len(v1) {
+		t.Errorf("large all-NULL column: v2 %d bytes >= v1 %d bytes", len(enc), len(v1))
+	}
+}
+
+func TestV2MixedKindColumnRoundTrips(t *testing.T) {
+	r := oneSet("m", []string{"v"}, []types.Row{
+		{types.NewInt(1)},
+		{types.NewText("two")},
+		{types.NewBool(true)},
+		{types.Null()},
+		{types.NewFloat(5.5)},
+	})
+	mustRoundTripV2(t, r)
+}
+
+func TestV2TextDictionaryDegenerate(t *testing.T) {
+	// All-equal strings: dictionary of one entry, one-byte codes.
+	same := make([]types.Row, 200)
+	for i := range same {
+		same[i] = types.Row{types.NewText("constant")}
+	}
+	r := oneSet("same", []string{"s"}, same)
+	enc := mustRoundTripV2(t, r)
+	if v1 := EncodeResult(r); len(enc) >= len(v1)/4 {
+		t.Errorf("constant text column compressed poorly: v2 %d vs v1 %d bytes", len(enc), len(v1))
+	}
+
+	// All-distinct strings: the dictionary buys nothing; inline must win or
+	// tie, and the whole thing still must not exceed v1.
+	distinct := make([]types.Row, 64)
+	for i := range distinct {
+		distinct[i] = types.Row{types.NewText(fmt.Sprintf("unique-%d-%d", i, i*i))}
+	}
+	r = oneSet("distinct", []string{"s"}, distinct)
+	enc = mustRoundTripV2(t, r)
+	if v1 := EncodeResult(r); len(enc) > len(v1) {
+		t.Errorf("distinct text column: v2 %d bytes > v1 %d bytes", len(enc), len(v1))
+	}
+}
+
+func TestV2IntDeltaExtremes(t *testing.T) {
+	// Sequential keys: delta form shrinks to ~1 byte per row.
+	seq := make([]types.Row, 1000)
+	for i := range seq {
+		seq[i] = types.Row{types.NewInt(int64(1_000_000 + i))}
+	}
+	r := oneSet("seq", []string{"id"}, seq)
+	enc := mustRoundTripV2(t, r)
+	if v1 := EncodeResult(r); len(enc)*2 >= len(v1) {
+		t.Errorf("sequential ints barely compressed: v2 %d vs v1 %d bytes", len(enc), len(v1))
+	}
+
+	// Extremes whose deltas wrap int64: correctness over compression.
+	r = oneSet("wrap", []string{"v"}, []types.Row{
+		{types.NewInt(math.MaxInt64)},
+		{types.NewInt(math.MinInt64)},
+		{types.NewInt(math.MaxInt64)},
+		{types.NewInt(-1)},
+		{types.NewInt(1)},
+	})
+	mustRoundTripV2(t, r)
+}
+
+// jobishResult builds a multi-set result shaped like the benchmark
+// workloads: a dictionary-friendly text column, a sequential key column, a
+// float column, nulls sprinkled in.
+func jobishResult(n int) *db.Result {
+	rows1 := make([]types.Row, n)
+	rows2 := make([]types.Row, n/2)
+	for i := range rows1 {
+		var note types.Value
+		if i%7 == 0 {
+			note = types.Null()
+		} else {
+			note = types.NewText(fmt.Sprintf("genre-%d", i%5))
+		}
+		rows1[i] = types.Row{types.NewInt(int64(i)), note, types.NewFloat(float64(i) * 0.25)}
+	}
+	for i := range rows2 {
+		rows2[i] = types.Row{types.NewInt(int64(i * 3)), types.NewBool(i%3 == 0)}
+	}
+	return &db.Result{Sets: []*db.ResultSet{
+		{Name: "t", Columns: []string{"id", "note", "score"}, Rows: rows1},
+		{Name: "u", Columns: []string{"fk", "ok"}, Rows: rows2},
+	}}
+}
+
+func TestV2ParallelismInvariantBytes(t *testing.T) {
+	r := jobishResult(500)
+	p1 := EncodeResultOptions(r, EncodeOptions{Version: FormatV2, Parallelism: 1})
+	p4 := EncodeResultOptions(r, EncodeOptions{Version: FormatV2, Parallelism: 4})
+	if !bytes.Equal(p1, p4) {
+		t.Fatal("v2 bytes differ between parallelism 1 and 4")
+	}
+}
+
+func TestV2NeverLargerThanV1(t *testing.T) {
+	for _, r := range []*db.Result{
+		jobishResult(10),
+		jobishResult(1000),
+		oneSet("one", []string{"a"}, []types.Row{{types.NewInt(42)}}),
+		oneSet("null1", []string{"a"}, []types.Row{{types.Null()}}),
+		oneSet("bools", []string{"b"}, []types.Row{
+			{types.NewBool(true)}, {types.NewBool(false)}, {types.Null()},
+		}),
+	} {
+		v1, v2 := EncodeResult(r), EncodeResultV2(r)
+		if len(v2) > len(v1) {
+			t.Errorf("v2 %d bytes > v1 %d bytes for %q", len(v2), len(v1), r.Sets[0].Name)
+		}
+	}
+}
+
+// TestV2VecGatherMatchesRowGather checks the dictionary-reuse fast path: a
+// set carrying a colstore view (with a scan-time dictionary larger than the
+// result needs, and a selection vector) must encode to exactly the bytes of
+// the plain row-scan gather.
+func TestV2VecGatherMatchesRowGather(t *testing.T) {
+	kinds := []types.Kind{types.KindInt, types.KindText, types.KindFloat}
+	frameRows := make([]types.Row, 40)
+	for i := range frameRows {
+		var s types.Value
+		if i%5 == 0 {
+			s = types.Null()
+		} else {
+			s = types.NewText(fmt.Sprintf("word-%d", i%9))
+		}
+		frameRows[i] = types.Row{types.NewInt(int64(i * 10)), s, types.NewFloat(float64(i))}
+	}
+	frame := colstore.NewFrame(kinds, frameRows)
+	// Select a shuffled-ish subset so wire codes must be remapped to
+	// first-occurrence order, not reused as-is.
+	sel := []int32{33, 2, 7, 2, 19, 38, 7, 11}
+	view := &colstore.View{Frame: frame, Sel: sel}
+	rows := make([]types.Row, len(sel))
+	for i, j := range sel {
+		rows[i] = frameRows[j]
+	}
+	withVec := &db.Result{Sets: []*db.ResultSet{{
+		Name: "v", Columns: []string{"id", "w", "f"}, Rows: rows, Vec: view,
+	}}}
+	withoutVec := &db.Result{Sets: []*db.ResultSet{{
+		Name: "v", Columns: []string{"id", "w", "f"}, Rows: rows,
+	}}}
+	a, b := EncodeResultV2(withVec), EncodeResultV2(withoutVec)
+	if !bytes.Equal(a, b) {
+		t.Fatal("vec-backed and row-scan v2 encodes differ")
+	}
+	mustRoundTripV2(t, withVec)
+}
+
+func TestDecodeResultExpectRejectsCrossVersion(t *testing.T) {
+	r := jobishResult(20)
+	v1, v2 := EncodeResult(r), EncodeResultV2(r)
+	if _, err := DecodeResultExpect(v1, FormatV1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResultExpect(v2, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResultExpect(v1, FormatV2); err == nil {
+		t.Fatal("v1 payload accepted where v2 was negotiated")
+	}
+	if _, err := DecodeResultExpect(v2, FormatV1); err == nil {
+		t.Fatal("v2 payload accepted where v1 was negotiated")
+	}
+	if _, err := DecodeResultExpect(v1, 99); err == nil {
+		t.Fatal("unknown expected version accepted")
+	}
+}
+
+// v2Prologue hand-rolls a one-set v2 payload up to the row count; the test
+// appends column blocks after it.
+func v2Prologue(nRows int) *Encoder {
+	e := NewEncoder()
+	e.uvarint(magic)
+	e.uvarint(FormatV2)
+	e.uvarint(0) // flags
+	e.uvarint(1) // one set
+	e.str("s")
+	e.uvarint(1) // one column
+	e.str("c")
+	e.uvarint(uint64(nRows))
+	return e
+}
+
+func TestV2DecoderRejectsMalformedColumns(t *testing.T) {
+	cases := []struct {
+		name string
+		rows int
+		col  []byte // desc + body
+		want string
+	}{
+		{"reserved bit", 1, []byte{colReservedBit | colInt<<colKindShift, 2}, "reserved bit"},
+		{"unknown kind", 1, []byte{7 << colKindShift}, "unknown column kind"},
+		{"variant on float", 1, []byte{1 | colFloat<<colKindShift}, "no variant"},
+		{"variant 2 on int", 1, []byte{2 | colInt<<colKindShift, 2}, "unknown payload variant"},
+		{"bitmap on all-null", 2, []byte{colNullsBit | colAllNull<<colKindShift, 0x01}, "cannot carry a null bitmap"},
+		{"bitmap on any", 2, []byte{colNullsBit | colAny<<colKindShift, 0x01, tagNull, tagNull}, "cannot carry a null bitmap"},
+		{"bitmap all set", 2, []byte{colNullsBit | colInt<<colKindShift, 0x03}, "non-canonical null bitmap"},
+		{"bitmap none set", 2, []byte{colNullsBit | colInt<<colKindShift, 0x00, 2, 4}, "non-canonical null bitmap"},
+		{"bitmap spare bits", 2, []byte{colNullsBit | colInt<<colKindShift, 0x05, 2}, "bits beyond row"},
+		{"bool spare bits", 2, []byte{colBool << colKindShift, 0x04}, "bits beyond value"},
+		{"dict code out of range", 1, []byte{textDict | colText<<colKindShift, 1, 1, 'a', 5}, "out of range"},
+		{"truncated column", 3, []byte{colInt << colKindShift, 2}, "truncated"},
+		{"truncated descriptor", 1, nil, "truncated column descriptor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := v2Prologue(tc.rows)
+			e.buf = append(e.buf, tc.col...)
+			_, err := DecodeResult(e.Bytes())
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestV2DecoderRejectsHostileCounts(t *testing.T) {
+	// An implicit all-NULL column may not claim more than v2AllNullMax rows.
+	e := v2Prologue(v2AllNullMax + 1)
+	e.buf = append(e.buf, colAllNull<<colKindShift)
+	if _, err := DecodeResult(e.Bytes()); err == nil {
+		t.Fatal("oversized implicit all-NULL column was accepted")
+	}
+	// A typed column cannot claim orders of magnitude more rows than its
+	// remaining bytes could bit-pack.
+	e = v2Prologue(1 << 20)
+	e.buf = append(e.buf, colBool<<colKindShift, 0xff)
+	if _, err := DecodeResult(e.Bytes()); err == nil {
+		t.Fatal("bool column with absurd row count was accepted")
+	}
+	// The payload-wide cell budget rejects absurd totals before MakeRows.
+	e = v2Prologue(1 << 50)
+	if _, err := DecodeResult(e.Bytes()); err == nil {
+		t.Fatal("absurd row count escaped the materialization budget")
+	}
+	// Zero columns with rows is structurally invalid in v2 as in v1.
+	e = NewEncoder()
+	e.uvarint(magic)
+	e.uvarint(FormatV2)
+	e.uvarint(0)
+	e.uvarint(1)
+	e.str("s")
+	e.uvarint(0) // zero columns...
+	e.uvarint(2) // ...but two rows
+	if _, err := DecodeResult(e.Bytes()); err == nil {
+		t.Fatal("rows in a zero-column v2 set were accepted")
+	}
+}
+
+func TestV2DecoderRejectsBadCompressedColumns(t *testing.T) {
+	deflateBytes := func(raw []byte) []byte {
+		var buf bytes.Buffer
+		w, err := flate.NewWriter(&buf, flate.BestCompression)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Compressed length longer than the remaining payload.
+	e := v2Prologue(1)
+	e.buf = append(e.buf, colInt<<colKindShift|colFlateBit, 200, 1)
+	if _, err := DecodeResult(e.Bytes()); err == nil || !strings.Contains(err.Error(), "truncated compressed") {
+		t.Fatalf("want truncated-compressed error, got %v", err)
+	}
+
+	// Garbage deflate stream.
+	e = v2Prologue(1)
+	e.buf = append(e.buf, colInt<<colKindShift|colFlateBit, 3, 0xff, 0xff, 0xff)
+	if _, err := DecodeResult(e.Bytes()); err == nil || !strings.Contains(err.Error(), "corrupt compressed") {
+		t.Fatalf("want corrupt-compressed error, got %v", err)
+	}
+
+	// A valid stream with trailing bytes after the column's values.
+	comp := deflateBytes([]byte{2, 0x00}) // varint(1), then one stray byte
+	e = v2Prologue(1)
+	e.buf = append(e.buf, colInt<<colKindShift|colFlateBit)
+	e.uvarint(uint64(len(comp)))
+	e.buf = append(e.buf, comp...)
+	if _, err := DecodeResult(e.Bytes()); err == nil || !strings.Contains(err.Error(), "trailing bytes in compressed column") {
+		t.Fatalf("want trailing-bytes error, got %v", err)
+	}
+
+	// Row count implausible for the compressed size. (Small claims trip the
+	// per-column ratio check; this one is big enough that the payload-wide
+	// budget rejects it first — either guard is fine, both pre-allocation.)
+	e = v2Prologue(1 << 24)
+	e.buf = append(e.buf, colBool<<colKindShift|colFlateBit, 1, 0x00)
+	if _, err := DecodeResult(e.Bytes()); err == nil {
+		t.Fatal("implausible compressed row count was accepted")
+	}
+	e = v2Prologue(10000)
+	e.buf = append(e.buf, colBool<<colKindShift|colFlateBit, 1, 0x00)
+	if _, err := DecodeResult(e.Bytes()); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("want implausibility error, got %v", err)
+	}
+}
+
+// TestEncodeResultAllocations guards the capacity hint: v1-encoding a
+// numeric result of known shape must not regrow the buffer.
+func TestEncodeResultAllocations(t *testing.T) {
+	rows := make([]types.Row, 2000)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i)), types.NewInt(int64(i * 7)), types.NewBool(i%2 == 0)}
+	}
+	r := oneSet("a", []string{"x", "y", "z"}, rows)
+	allocs := testing.AllocsPerRun(10, func() {
+		EncodeResult(r)
+	})
+	// One buffer allocation; anything more means the hint stopped covering
+	// the payload and appends are regrowing (and copying) it.
+	if allocs > 2 {
+		t.Errorf("EncodeResult allocated %.0f times per run, want <= 2", allocs)
+	}
+}
+
+func BenchmarkEncodeResultV1(b *testing.B) {
+	r := jobishResult(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeResult(r)
+	}
+}
+
+func BenchmarkEncodeResultV2(b *testing.B) {
+	r := jobishResult(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeResultV2(r)
+	}
+}
+
+func BenchmarkDecodeResultV2(b *testing.B) {
+	enc := EncodeResultV2(jobishResult(5000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeResult(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

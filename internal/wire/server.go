@@ -16,11 +16,59 @@ import (
 
 // Frame types of the protocol. Every frame is a 1-byte type, a 4-byte
 // big-endian length, and the payload.
+//
+// A connection that never sends frameHello speaks the original protocol:
+// v1 payloads, one frameOK per query. After a hello exchange (uvarint
+// version + uvarint flags in both directions; flag bit 0 requests
+// streaming), responses use the negotiated payload version, and — when
+// streaming was granted — arrive as frameChunk frames terminated by a
+// frameEnd. The concatenated chunk payloads are byte-identical to the
+// frameOK payload the same query would have produced unstreamed; chunking
+// exists so the server can flush relation-by-relation while the executor is
+// still projecting later relations. A frameErr may replace frameOK or
+// interrupt a chunk stream at any point (the client discards the partial
+// buffer).
 const (
 	frameQuery byte = 1 // client -> server: SQL text
 	frameOK    byte = 2 // server -> client: encoded Result
 	frameErr   byte = 3 // server -> client: error text
+	frameHello byte = 4 // both directions: uvarint version, uvarint flags
+	frameChunk byte = 5 // server -> client: partial encoded Result
+	frameEnd   byte = 6 // server -> client: end of chunked response
 )
+
+// helloStreaming is the hello flag bit requesting (client) or granting
+// (server) streamed responses.
+const helloStreaming = 1 << 0
+
+// encodeHello builds a hello payload.
+func encodeHello(version int, streaming bool) []byte {
+	e := NewEncoderSized(4)
+	e.uvarint(uint64(version))
+	var flags uint64
+	if streaming {
+		flags |= helloStreaming
+	}
+	e.uvarint(flags)
+	return e.Bytes()
+}
+
+// decodeHello parses a hello payload.
+func decodeHello(payload []byte) (version int, streaming bool, err error) {
+	d := NewDecoder(payload)
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, false, err
+	}
+	flags, err := d.uvarint()
+	if err != nil {
+		return 0, false, err
+	}
+	if d.Remaining() != 0 {
+		return 0, false, fmt.Errorf("wire: %d trailing bytes in hello", d.Remaining())
+	}
+	return int(v), flags&helloStreaming != 0, nil
+}
 
 const maxFrame = 1 << 30
 
@@ -74,6 +122,10 @@ type Server struct {
 	// the kernel backlog until a slot frees — clients see latency, not
 	// errors, under overload.
 	MaxConns int
+	// MaxVersion clamps version negotiation (0 = FormatV2, the highest
+	// supported). Set to FormatV1 to force every connection onto the
+	// original row-major payloads regardless of what clients request.
+	MaxVersion int
 
 	mu sync.Mutex
 	ln net.Listener
@@ -132,10 +184,22 @@ func (s *Server) acceptLoop(ln net.Listener, sem chan struct{}) {
 	}
 }
 
+// maxVersion returns the highest payload version this server will speak.
+func (s *Server) maxVersion() int {
+	if s.MaxVersion == 0 {
+		return FormatV2
+	}
+	return s.MaxVersion
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// Connection state: hello-less clients get the original protocol (v1
+	// payloads, buffered frameOK responses) byte for byte.
+	version := FormatV1
+	streaming := false
 	// reply writes one response frame under the write deadline and flushes.
 	reply := func(typ byte, payload []byte) error {
 		if s.WriteTimeout > 0 {
@@ -145,6 +209,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			return err
 		}
 		return w.Flush()
+	}
+	// send writes one frame without flushing (chunk pipelining: the flush
+	// happens per chunk in the stream writer, after the frame is complete).
+	send := func(typ byte, payload []byte) error {
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		return writeFrame(w, typ, payload)
 	}
 	for {
 		if s.ReadTimeout > 0 {
@@ -160,9 +232,33 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return // client gone, idle timeout, or poisoned stream
 		}
-		if typ != frameQuery {
+		switch typ {
+		case frameHello:
+			v, wantStream, err := decodeHello(payload)
+			if err != nil {
+				reply(frameErr, []byte(err.Error()))
+				return
+			}
+			if v < FormatV1 {
+				reply(frameErr, []byte(fmt.Sprintf("wire: unsupported version %d", v)))
+				return
+			}
+			version = min(v, s.maxVersion())
+			streaming = wantStream
+			if err := reply(frameHello, encodeHello(version, streaming)); err != nil {
+				return
+			}
+			continue
+		case frameQuery:
+		default:
 			reply(frameErr, []byte(fmt.Sprintf("unexpected frame type %d", typ)))
 			return
+		}
+		if streaming {
+			if !s.serveStreamed(string(payload), version, reply, send, w) {
+				return
+			}
+			continue
 		}
 		res, err := s.db.Exec(string(payload))
 		if err != nil {
@@ -171,10 +267,92 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			continue
 		}
-		if werr := reply(frameOK, EncodeResult(res)); werr != nil {
+		opts := EncodeOptions{Version: version, Parallelism: s.db.CoreOptions.Parallelism}
+		if werr := reply(frameOK, EncodeResultOptions(res, opts)); werr != nil {
 			return
 		}
 	}
+}
+
+// serveStreamed answers one query as a chunk stream, overlapping execution,
+// encoding, and transmission: the header chunk goes out before the first
+// relation is projected; each relation is encoded on its own goroutine
+// (columns in parallel inside it) while the executor projects the next one;
+// and a writer goroutine flushes chunks in order as their encodes finish.
+// Returns false when the connection is no longer usable.
+func (s *Server) serveStreamed(sql string, version int, reply, send func(byte, []byte) error, w *bufio.Writer) bool {
+	par := s.db.CoreOptions.Parallelism
+
+	// Ordered delivery pipeline: emit enqueues a promise per chunk; the
+	// writer resolves them in order. Capacity bounds how far encoding may
+	// run ahead of the network.
+	queue := make(chan chan []byte, 4)
+	writeErr := make(chan error, 1)
+	failed := make(chan struct{})
+	var failOnce sync.Once
+	go func() {
+		var err error
+		for p := range queue {
+			data := <-p
+			if err != nil {
+				continue // drain remaining promises after a write error
+			}
+			if werr := send(frameChunk, data); werr != nil {
+				err = werr
+			} else if werr := w.Flush(); werr != nil {
+				err = werr
+			}
+			if err != nil {
+				failOnce.Do(func() { close(failed) })
+			}
+		}
+		writeErr <- err
+	}()
+	enqueue := func(encode func() []byte) error {
+		p := make(chan []byte, 1)
+		go func() { p <- encode() }()
+		select {
+		case queue <- p:
+			return nil
+		case <-failed:
+			return errors.New("wire: connection write failed")
+		}
+	}
+
+	res, execErr := s.db.ExecStream(sql,
+		func(meta db.StreamMeta) error {
+			return enqueue(func() []byte {
+				e := NewEncoderSized(16)
+				e.encodeHeader(version, meta.NumSets, meta.Plan != nil)
+				return e.Bytes()
+			})
+		},
+		func(set *db.ResultSet) error {
+			return enqueue(func() []byte {
+				e := NewEncoderSized(setCapacityHint(set))
+				e.encodeSetVersion(set, version, par)
+				return e.Bytes()
+			})
+		})
+	if execErr == nil && res.PostJoinPlan != nil {
+		execErr = enqueue(func() []byte {
+			e := NewEncoder()
+			e.encodePlan(res.PostJoinPlan)
+			return e.Bytes()
+		})
+	}
+	close(queue)
+	werr := <-writeErr
+	if werr != nil {
+		return false
+	}
+	if execErr != nil {
+		// Either the statement failed (possibly mid-stream — the client
+		// discards the partial response) or enqueue aborted on a write
+		// error already handled above.
+		return reply(frameErr, []byte(execErr.Error())) == nil
+	}
+	return reply(frameEnd, nil) == nil
 }
 
 // Close stops the listener and waits for in-flight connections.
@@ -206,16 +384,112 @@ type Client struct {
 	r  *bufio.Reader
 	w  *bufio.Writer
 
+	helloPending bool // hello sent at dial time, reply not yet consumed
+	version      int  // negotiated payload version (FormatV1 without a hello)
+	streaming    bool // negotiated streamed responses
+
 	bytesRead atomic.Int64
 }
 
-// Dial connects to a server.
+// Options configures a client connection.
+type Options struct {
+	// Version is the payload version to request (FormatV1 or FormatV2;
+	// 0 = FormatV2). The server may clamp it down; Version() reports the
+	// negotiated outcome.
+	Version int
+	// Streaming requests chunked responses (server-side pipelining of
+	// execution, encoding, and transmission).
+	Streaming bool
+	// Legacy skips the hello exchange entirely, reproducing the original
+	// protocol byte for byte: v1 payloads, buffered responses. Version and
+	// Streaming are ignored.
+	Legacy bool
+}
+
+// Dial connects to a server, negotiating the newest payload version and
+// streamed responses. Use DialOptions to pin a version or disable either.
 func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, Options{Version: FormatV2, Streaming: true})
+}
+
+// DialOptions connects to a server with explicit protocol options. The hello
+// is written at dial time but the server's reply is consumed lazily, on the
+// first Exec (or Version/Streaming call) — so dialing an overloaded server
+// queues instead of blocking, exactly like the legacy protocol: clients see
+// latency, not errors, and negotiation failures surface on first use.
+func DialOptions(addr string, opts Options) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), version: FormatV1}
+	if opts.Legacy {
+		return c, nil
+	}
+	want := opts.Version
+	if want == 0 {
+		want = FormatV2
+	}
+	if err := writeFrame(c.w, frameHello, encodeHello(want, opts.Streaming)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.helloPending = true
+	return c, nil
+}
+
+// finishHello consumes the server's hello reply if one is still in flight.
+// Callers must hold c.mu. On failure the connection is unusable; the pending
+// flag stays set so every subsequent call reports an error too.
+func (c *Client) finishHello() error {
+	if !c.helloPending {
+		return nil
+	}
+	typ, payload, err := readFrame(c.r)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case frameHello:
+		v, streaming, err := decodeHello(payload)
+		if err != nil {
+			return err
+		}
+		if v != FormatV1 && v != FormatV2 {
+			return fmt.Errorf("wire: server negotiated unsupported version %d", v)
+		}
+		c.version = v
+		c.streaming = streaming
+		c.helloPending = false
+		return nil
+	case frameErr:
+		return errors.New(string(payload))
+	default:
+		return fmt.Errorf("wire: unexpected frame type %d in hello exchange", typ)
+	}
+}
+
+// Version reports the negotiated payload version (FormatV1 or FormatV2),
+// completing the hello exchange if its reply is still in flight. Reports
+// FormatV1 if negotiation failed (the next Exec returns the actual error).
+func (c *Client) Version() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finishHello()
+	return c.version
+}
+
+// Streaming reports whether responses arrive as chunk streams, completing
+// the hello exchange if its reply is still in flight.
+func (c *Client) Streaming() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finishHello()
+	return c.streaming
 }
 
 // BytesRead returns the accumulated payload bytes received, for transfer
@@ -233,6 +507,14 @@ func (c *Client) Exec(sql string) (*db.Result, error) {
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
+	// The query is already in flight; now settle the negotiation reply (if
+	// pending) so we know how to read the response that follows it.
+	if err := c.finishHello(); err != nil {
+		return nil, err
+	}
+	if c.streaming {
+		return c.readStreamed()
+	}
 	typ, payload, err := readFrame(c.r)
 	if err != nil {
 		return nil, err
@@ -240,11 +522,35 @@ func (c *Client) Exec(sql string) (*db.Result, error) {
 	c.bytesRead.Add(int64(len(payload)))
 	switch typ {
 	case frameOK:
-		return DecodeResult(payload)
+		return DecodeResultExpect(payload, c.version)
 	case frameErr:
 		return nil, errors.New(string(payload))
 	default:
 		return nil, fmt.Errorf("wire: unexpected frame type %d", typ)
+	}
+}
+
+// readStreamed collects one chunked response. The concatenated chunks are
+// exactly the payload an unstreamed frameOK would have carried; a frameErr
+// at any point aborts the response and the partial buffer is discarded.
+func (c *Client) readStreamed() (*db.Result, error) {
+	var buf []byte
+	for {
+		typ, payload, err := readFrame(c.r)
+		if err != nil {
+			return nil, err
+		}
+		c.bytesRead.Add(int64(len(payload)))
+		switch typ {
+		case frameChunk:
+			buf = append(buf, payload...)
+		case frameEnd:
+			return DecodeResultExpect(buf, c.version)
+		case frameErr:
+			return nil, errors.New(string(payload))
+		default:
+			return nil, fmt.Errorf("wire: unexpected frame type %d in chunked response", typ)
+		}
 	}
 }
 

@@ -8,9 +8,12 @@
 # layer, the columnar store, their consumers, the tracer, the result cache,
 # and the wire server/client stress tests), the vectorized differential gate
 # (colstore execution byte-identical to the row-path oracle across
-# parallelism degrees and cache settings), a vectorized benchmark smoke, a
-# short fuzzing pass over the two byte-hostile surfaces (SQL text in, wire
-# bytes in), and the tracer overhead guard.
+# parallelism degrees and cache settings), the wire v2 differential gate
+# (columnar payloads and streamed transfer byte-identical to a row-path
+# oracle across workloads, parallelism degrees, and connection flavors), a
+# vectorized benchmark smoke, a short fuzzing pass over the two
+# byte-hostile surfaces (SQL text in, wire bytes in), and the tracer
+# overhead guard.
 set -eu
 
 cd "$(dirname "$0")"
@@ -34,6 +37,10 @@ go test -race -run 'TestCacheDifferential|TestServerCacheStress' -count=1 ./inte
 
 echo "== vectorized differential gate (colstore candidates vs row-path oracle, par x cache, under -race)"
 go test -race -run 'TestVectorizedDifferential' -count=1 ./internal/wire
+
+echo "== wire v2 differential gate (v2 buffered/streamed x par vs v1 oracle, v2 <= v1 bytes, under -race)"
+go test -race -run 'TestWireV2Differential|TestStreamedMatchesBuffered|TestExecStream' -count=1 \
+	./internal/wire ./internal/db
 
 echo "== vectorized benchmark smoke (both paths run once on the 16b plan)"
 go test -run '^$' -bench 'BenchmarkVectorized(Join|Reduce)16b' -benchtime 1x .
