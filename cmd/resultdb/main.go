@@ -8,12 +8,14 @@
 //	resultdb -workload job        # preload the JOB-like IMDb workload
 //	resultdb -e "SELECT ..."      # execute one statement and exit
 //	resultdb -f script.sql        # run a SQL script, then open the shell
+//	resultdb -connect :7483       # remote shell against a resultdbd server
 //
 // Shell meta-commands: \d (list tables), \d NAME (describe), \timing
 // (toggle timings), \trace (toggle per-query JSON execution traces),
 // \strategy semijoin|decompose, \cache [on|off|clear|SIZE] (semantic result
 // cache), \wire [v1|v2|off] (show each result's encoded wire size at a
 // payload version), \save FILE and \open FILE (binary database snapshots),
+// \retry [off|ATTEMPTS [BACKOFF]] (remote retry policy, -connect only),
 // \q (quit).
 package main
 
@@ -44,8 +46,43 @@ func main() {
 		file      = flag.String("f", "", "execute a SQL script file before starting the shell")
 		csvDir    = flag.String("csv", "", "load every *.csv in the directory as a table before starting")
 		traceExec = flag.Bool("trace", false, "emit a JSON execution trace after every SELECT")
+		connect   = flag.String("connect", "", "execute against a resultdbd server at host:port instead of the embedded database (RESULTDB_RETRIES / RESULTDB_RETRY_BACKOFF configure reconnect-and-retry; \\retry adjusts it live)")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		if *workload != "" || *csvDir != "" {
+			fmt.Fprintln(os.Stderr, "resultdb: -workload and -csv load into the embedded database and cannot be combined with -connect")
+			os.Exit(1)
+		}
+		remote, err := wire.Dial(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resultdb:", err)
+			os.Exit(1)
+		}
+		defer remote.Close()
+		s := &shell{remote: remote, out: os.Stdout}
+		if *file != "" {
+			script, err := os.ReadFile(*file)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "resultdb:", err)
+				os.Exit(1)
+			}
+			if err := s.execute(string(script)); err != nil {
+				fmt.Fprintln(os.Stderr, "resultdb:", err)
+				os.Exit(1)
+			}
+		}
+		if *execSQL != "" {
+			if err := s.execute(*execSQL); err != nil {
+				fmt.Fprintln(os.Stderr, "resultdb:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		s.repl(os.Stdin)
+		return
+	}
 
 	d := db.New()
 	if err := preload(d, *workload, *scale); err != nil {
@@ -121,7 +158,11 @@ func preload(d *db.Database, workload string, scale float64) error {
 }
 
 type shell struct {
-	db     *db.Database
+	db *db.Database
+	// remote, when set, routes every statement to a resultdbd server over
+	// the wire protocol; db is nil and database-local meta commands are
+	// unavailable.
+	remote *wire.Client
 	out    *os.File
 	timing bool
 	trace  bool
@@ -168,12 +209,22 @@ func (s *shell) repl(in *os.File) {
 // meta handles backslash commands; returns true to quit.
 func (s *shell) meta(cmd string) bool {
 	fields := strings.Fields(cmd)
+	if s.remote != nil {
+		switch fields[0] {
+		case "\\q", "\\timing", "\\retry":
+		default:
+			fmt.Fprintln(s.out, "only \\q, \\timing and \\retry are available over -connect; everything else runs in the embedded shell")
+			return false
+		}
+	}
 	switch fields[0] {
 	case "\\q":
 		return true
 	case "\\timing":
 		s.timing = !s.timing
 		fmt.Fprintf(s.out, "timing %v\n", s.timing)
+	case "\\retry":
+		return s.metaRetry(fields)
 	case "\\trace":
 		s.trace = !s.trace
 		fmt.Fprintf(s.out, "trace %v\n", s.trace)
@@ -271,7 +322,47 @@ func (s *shell) meta(cmd string) bool {
 			fmt.Fprintf(s.out, "%-24s %8d rows\n", name, t.Len())
 		}
 	default:
-		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\trace, \\strategy, \\cache, \\q")
+		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\trace, \\strategy, \\cache, \\retry, \\q")
+	}
+	return false
+}
+
+// metaRetry shows or reconfigures the remote connection's retry policy:
+// \retry (show), \retry off, \retry N [BACKOFF] (N attempts, optional base
+// backoff like 100ms). Always returns false (never quits).
+func (s *shell) metaRetry(fields []string) bool {
+	if s.remote == nil {
+		fmt.Fprintln(s.out, "\\retry needs a remote connection; start the shell with -connect")
+		return false
+	}
+	if len(fields) >= 2 {
+		if fields[1] == "off" {
+			s.remote.SetRetry(wire.RetryPolicy{})
+		} else {
+			var attempts int
+			if _, err := fmt.Sscanf(fields[1], "%d", &attempts); err != nil || attempts < 1 {
+				fmt.Fprintln(s.out, "usage: \\retry [off|ATTEMPTS [BACKOFF]]")
+				return false
+			}
+			p := wire.DefaultRetryPolicy()
+			p.MaxAttempts = attempts
+			if len(fields) >= 3 {
+				d, err := time.ParseDuration(fields[2])
+				if err != nil || d <= 0 {
+					fmt.Fprintln(s.out, "usage: \\retry [off|ATTEMPTS [BACKOFF]]")
+					return false
+				}
+				p.BaseBackoff = d
+			}
+			s.remote.SetRetry(p)
+		}
+	}
+	p := s.remote.RetryPolicy()
+	if p.MaxAttempts <= 1 {
+		fmt.Fprintln(s.out, "retry off (single attempt)")
+	} else {
+		fmt.Fprintf(s.out, "retry: %d attempts, backoff %v..%v, attempt timeout %v, query timeout %v (%d reconnects so far)\n",
+			p.MaxAttempts, p.BaseBackoff, p.MaxBackoff, p.AttemptTimeout, p.QueryTimeout, s.remote.Reconnects())
 	}
 	return false
 }
@@ -309,6 +400,23 @@ func (s *shell) execute(sql string) error {
 	stmts, err := sqlparse.ParseScript(sql)
 	if err != nil {
 		return err
+	}
+	if s.remote != nil {
+		// Remote mode: ship each statement's text to the server; retry and
+		// reconnect live inside the wire client, so a transient failure here
+		// is already the post-retry verdict (the error text carries the
+		// classification and attempt count).
+		for _, st := range stmts {
+			res, err := s.remote.Exec(st.SQL())
+			if err != nil {
+				return fmt.Errorf("statement %q: %w", st.SQL(), err)
+			}
+			s.printResult(res)
+		}
+		if s.timing {
+			fmt.Fprintf(s.out, "Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
+		}
+		return nil
 	}
 	for _, st := range stmts {
 		if sel, ok := st.(*sqlparse.Select); ok && s.trace {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"resultdb/internal/db"
 	"resultdb/internal/wire"
@@ -34,6 +35,7 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 0, "idle-connection read deadline (0 = none)")
 		writeTimeout = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 		wireVersion  = flag.String("wire-version", "v2", "highest wire payload version to negotiate: v1 | v2")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: in-flight queries get this long to finish before their connections are force-closed (0 = wait indefinitely)")
 	)
 	flag.Parse()
 
@@ -83,9 +85,15 @@ func main() {
 	}
 	fmt.Printf("resultdbd listening on %s (workload=%s cache=%v wire=%s)\n", bound, *workload, d.CacheEnabled(), *wireVersion)
 
+	// SIGINT/SIGTERM trigger a graceful drain: the listener closes (new
+	// dials are refused), idle connections are kicked, and in-flight
+	// queries get -drain-timeout to finish their responses.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
-	srv.Close()
+	fmt.Printf("shutting down (draining %d active connections, timeout %v)\n", srv.ActiveConns(), *drainTimeout)
+	srv.Shutdown(*drainTimeout)
+	for _, line := range srv.Stats().Trace().CompactLines() {
+		fmt.Println(line)
+	}
 }

@@ -1,0 +1,23 @@
+package client
+
+import "resultdb/internal/wire"
+
+// Error classification for remote connections, re-exported from the wire
+// layer so application code built on this package never needs to import it:
+// a failed Exec against a *wire.Client carries a typed kind — retryable
+// (transport died; a fresh connection may succeed), terminal (the statement
+// itself failed; retrying re-fetches the same error), or corrupt (bytes
+// arrived but failed validation). Errors from an embedded *db.Database are
+// plain statement errors and classify as none of the three.
+
+// IsRetryable reports whether err is a transient transport failure a retry
+// on a fresh connection might fix.
+func IsRetryable(err error) bool { return wire.IsRetryable(err) }
+
+// IsTerminal reports whether err is the statement's own failure, which a
+// retry would only repeat.
+func IsTerminal(err error) bool { return wire.IsTerminal(err) }
+
+// IsCorrupt reports whether err marks a response that arrived but failed
+// validation (checksum mismatch, undecodable payload).
+func IsCorrupt(err error) bool { return wire.IsCorrupt(err) }

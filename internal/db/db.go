@@ -265,8 +265,15 @@ func (d *Database) ExecScript(sql string) ([]*Result, error) {
 	return out, nil
 }
 
-// ExecStatement executes a parsed statement.
-func (d *Database) ExecStatement(st sqlparse.Statement) (*Result, error) {
+// ExecStatement executes a parsed statement. A panic anywhere in execution
+// is confined to the statement and surfaces as an error, so one poisoned
+// query cannot take down an embedding process or server.
+func (d *Database) ExecStatement(st sqlparse.Statement) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("db: internal error: %v", p)
+		}
+	}()
 	switch s := st.(type) {
 	case *sqlparse.Select:
 		return d.Query(s)

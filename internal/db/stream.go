@@ -1,6 +1,8 @@
 package db
 
 import (
+	"fmt"
+
 	"resultdb/internal/core"
 	"resultdb/internal/sqlparse"
 )
@@ -55,7 +57,14 @@ func (s *streamSink) emit(set *ResultSet) error {
 // An error from begin or emit aborts execution and is returned verbatim; an
 // execution error after begin was already called is returned too — streaming
 // consumers must be prepared to abandon a stream mid-flight.
-func (d *Database) ExecStream(sql string, begin func(StreamMeta) error, emit func(*ResultSet) error) (*Result, error) {
+func (d *Database) ExecStream(sql string, begin func(StreamMeta) error, emit func(*ResultSet) error) (res *Result, err error) {
+	// Same panic confinement as ExecStatement: a poisoned query surfaces as
+	// a statement error (the stream is abandoned mid-flight), not a crash.
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("db: internal error: %v", p)
+		}
+	}()
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err

@@ -53,6 +53,8 @@ func (tr *Trace) CompactLines() []string {
 		case "bloom-semi-join":
 			lines = append(lines, fmt.Sprintf("bloom semi-join %s  rows: %d -> %d",
 				sp.Label, sp.RowsIn, sp.RowsOut))
+		case "counter":
+			lines = append(lines, fmt.Sprintf("%s: %d", sp.Label, sp.RowsOut))
 		case "output":
 			switch {
 			case resultDB:
@@ -178,6 +180,10 @@ func spanLine(sp *Span) string {
 		fmt.Fprintf(&b, "return %s  rows: %d -> %d  bytes: %d", sp.Label, sp.RowsIn, sp.RowsOut, sp.Bytes)
 	case "encode":
 		fmt.Fprintf(&b, "encode %s  rows: %d  bytes: %d", sp.Label, sp.RowsIn, sp.Bytes)
+	case "counter":
+		// Operational counters (server stats rendered through the trace
+		// pipeline): a bare name/value, no row arrows.
+		fmt.Fprintf(&b, "%s: %d", sp.Label, sp.RowsOut)
 	case "note":
 		b.WriteString(sp.Detail)
 	default:

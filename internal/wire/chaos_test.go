@@ -1,0 +1,607 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resultdb/internal/db"
+	"resultdb/internal/faultnet"
+)
+
+// The chaos differential gate: a retrying client driven through every
+// faultnet failure mode, across both payload versions, buffered and streamed
+// responses, and two degrees of parallelism, must return either the
+// byte-exact oracle result or a typed *ExchangeError — never a silent
+// partial or corrupt result, and never a hang.
+
+func chaosDB(t testing.TB) *db.Database {
+	t.Helper()
+	d := db.New()
+	script := `
+CREATE TABLE cust (id INT PRIMARY KEY, name TEXT, tier TEXT);
+CREATE TABLE ord (id INT PRIMARY KEY, cust_id INT, total FLOAT);
+INSERT INTO cust VALUES (1, 'Ann', 'gold'), (2, 'Bob', 'gold'), (3, 'Cay', 'base'), (4, 'Dee', 'base');`
+	if _, err := d.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	// Enough order rows that responses span many kilobytes: mid-response
+	// faults must land inside the transfer, not after it.
+	var b strings.Builder
+	for i := 0; i < 1200; i++ {
+		if i%100 == 0 {
+			if i > 0 {
+				b.WriteString(";\n")
+			}
+			b.WriteString("INSERT INTO ord VALUES ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d, %d.5)", 100+i, i%4+1, i)
+	}
+	b.WriteString(";")
+	if _, err := d.ExecScript(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// chaosQuery projects o.id too, keeping the ord relation's rows unique: the
+// response then spans several kilobytes, so mid-response fault offsets land
+// inside the transfer instead of beyond it.
+const chaosQuery = "SELECT RESULTDB c.name, c.tier, o.id, o.total FROM cust AS c, ord AS o WHERE c.id = o.cust_id AND o.total > 10"
+
+// canonical encodes a result at a fixed version and parallelism, giving the
+// byte-exact comparison key the gate checks client results against.
+func canonical(res *db.Result) []byte {
+	return EncodeResultOptions(res, EncodeOptions{Version: FormatV1, Parallelism: 1})
+}
+
+// chaosRetry is a fast, deterministic retry policy for fault sweeps: real
+// backoff sleeps would dominate the gate's runtime, fake-clock precision is
+// covered by the retry unit tests.
+func chaosRetry(attempts int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:    attempts,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		Jitter:         -1,
+		ConnectTimeout: 5 * time.Second,
+		AttemptTimeout: 10 * time.Second,
+		QueryTimeout:   60 * time.Second,
+		Seed:           1,
+	}
+}
+
+// chaosFaults is the fault matrix: every action at offsets hitting the
+// hello, the query frame, and the response body.
+var chaosFaults = []faultnet.Fault{
+	{Action: faultnet.Refuse},
+	{Action: faultnet.Drop, Offset: 0},
+	{Action: faultnet.Drop, Offset: 3},
+	{Action: faultnet.Drop, Offset: 60},
+	{Action: faultnet.Drop, Offset: 700},
+	{Action: faultnet.Stall, Offset: 0, Delay: 5 * time.Millisecond},
+	{Action: faultnet.Stall, Offset: 200, Delay: 10 * time.Millisecond},
+	{Action: faultnet.Truncate, Offset: 2},
+	{Action: faultnet.Truncate, Offset: 9},
+	{Action: faultnet.Truncate, Offset: 120},
+	{Action: faultnet.Corrupt, Offset: 1},
+	{Action: faultnet.Corrupt, Offset: 8},
+	{Action: faultnet.Corrupt, Offset: 40},
+	{Action: faultnet.Corrupt, Offset: 900},
+	{Action: faultnet.Reset, Offset: 0},
+	{Action: faultnet.Reset, Offset: 30},
+}
+
+func TestChaosDifferentialGate(t *testing.T) {
+	d := chaosDB(t)
+	oracleRes, err := d.Exec(chaosQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := canonical(oracleRes)
+	if len(oracle) == 0 {
+		t.Fatal("empty oracle encoding")
+	}
+
+	for _, par := range []int{1, 4} {
+		for _, opts := range []Options{
+			{Version: FormatV1},
+			{Version: FormatV2},
+			{Version: FormatV1, Streaming: true},
+			{Version: FormatV2, Streaming: true},
+		} {
+			par, opts := par, opts
+			name := fmt.Sprintf("v%d_stream=%v_par%d", opts.Version-1, opts.Streaming, par)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				served := chaosDB(t)
+				served.SetParallelism(par)
+				srv := NewServer(served)
+				addr, err := srv.Listen("127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv.Close()
+
+				// One faulted connection, then clean: the retrying client
+				// must always converge on the exact oracle bytes.
+				for _, f := range chaosFaults {
+					o := opts
+					o.Retry = chaosRetry(4)
+					o.Dial = faultnet.NewDialer(faultnet.Plan{Conns: []faultnet.Fault{f}}).Dial
+					c, err := DialOptions(addr, o)
+					if err != nil {
+						t.Fatalf("fault %v: dial: %v", f, err)
+					}
+					res, err := c.Exec(chaosQuery)
+					if err != nil {
+						t.Fatalf("fault %v: retrying client failed: %v", f, err)
+					}
+					if got := canonical(res); !bytes.Equal(got, oracle) {
+						t.Fatalf("fault %v: result diverged from oracle (%d vs %d bytes)", f, len(got), len(oracle))
+					}
+					c.Close()
+				}
+
+				// Every connection faulted with a hard failure: the client
+				// must exhaust its attempts and surface a typed error — a
+				// nil error with wrong bytes is the one forbidden outcome.
+				for _, f := range []faultnet.Fault{
+					{Action: faultnet.Refuse},
+					{Action: faultnet.Drop, Offset: 0},
+					{Action: faultnet.Truncate, Offset: 7},
+					{Action: faultnet.Corrupt, Offset: 40},
+					{Action: faultnet.Reset, Offset: 0},
+				} {
+					o := opts
+					o.Retry = chaosRetry(3)
+					o.Dial = faultnet.NewDialer(faultnet.Repeat(f, 32)).Dial
+					c, err := DialOptions(addr, o)
+					if err == nil {
+						res, err := c.Exec(chaosQuery)
+						if err == nil {
+							if got := canonical(res); !bytes.Equal(got, oracle) {
+								t.Fatalf("all-faults %v: SILENT CORRUPTION: nil error with diverging result", f)
+							}
+							t.Fatalf("all-faults %v: expected failure, got clean result", f)
+						}
+						var xe *ExchangeError
+						if !errors.As(err, &xe) {
+							t.Fatalf("all-faults %v: untyped error %T: %v", f, err, err)
+						}
+						if xe.Kind == KindTerminal {
+							t.Fatalf("all-faults %v: transport fault classified terminal: %v", f, err)
+						}
+						if xe.Attempts != 3 {
+							t.Fatalf("all-faults %v: %d attempts, want 3", f, xe.Attempts)
+						}
+						c.Close()
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosSeededSweep drives randomized fault plans (deterministic per
+// seed) against a retrying client: any outcome is legal except a wrong
+// result or an untyped error.
+func TestChaosSeededSweep(t *testing.T) {
+	d := chaosDB(t)
+	oracleRes, err := d.Exec(chaosQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := canonical(oracleRes)
+
+	srv := NewServer(chaosDB(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for seed := int64(1); seed <= 10; seed++ {
+		plan := faultnet.RandomPlan(seed, 6)
+		o := Options{Version: FormatV2, Streaming: true}
+		o.Retry = chaosRetry(8)
+		o.Dial = faultnet.NewDialer(plan).Dial
+		c, err := DialOptions(addr, o)
+		if err != nil {
+			continue // refused initial dial with retries disabled mid-plan is fine
+		}
+		res, err := c.Exec(chaosQuery)
+		switch {
+		case err == nil:
+			if got := canonical(res); !bytes.Equal(got, oracle) {
+				t.Fatalf("seed %d (%v): SILENT CORRUPTION", seed, plan)
+			}
+		default:
+			var xe *ExchangeError
+			if !errors.As(err, &xe) {
+				t.Fatalf("seed %d (%v): untyped error %T: %v", seed, plan, err, err)
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestChaosNonIdempotentNeverRetried locks the write-safety rule: a DML
+// statement that dies mid-exchange fails after exactly one attempt, even
+// with retries configured.
+func TestChaosNonIdempotentNeverRetried(t *testing.T) {
+	srv := NewServer(chaosDB(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	o := Options{Version: FormatV2}
+	o.Retry = chaosRetry(5)
+	// Fault every connection so a retry, if wrongly attempted, would also
+	// fail — the assertion is on the attempt count.
+	o.Dial = faultnet.NewDialer(faultnet.Repeat(faultnet.Fault{Action: faultnet.Drop, Offset: 40}, 16)).Dial
+	c, err := DialOptions(addr, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec("INSERT INTO cust VALUES (99, 'Zed', 'gold')")
+	if err == nil {
+		t.Fatal("expected the faulted INSERT to fail")
+	}
+	var xe *ExchangeError
+	if !errors.As(err, &xe) {
+		t.Fatalf("untyped error %T: %v", err, err)
+	}
+	if xe.Attempts != 1 {
+		t.Fatalf("non-idempotent statement retried: %d attempts", xe.Attempts)
+	}
+}
+
+// TestChaosErrorContext checks the satellite fix: a mid-result connection
+// drop surfaces with query context (hash, frame index, bytes read) instead
+// of a raw io.EOF.
+func TestChaosErrorContext(t *testing.T) {
+	srv := NewServer(chaosDB(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// v1 payloads: the response is ~14KB uncompressed, so an offset-600 drop
+	// is guaranteed to strike mid-transfer on any read segmentation.
+	o := Options{Version: FormatV1, Streaming: true}
+	// Single attempt (explicit, so ambient RESULTDB_RETRIES can't leak in):
+	// observe the raw classified failure. Drop deep into the response so the
+	// client has already consumed response frames.
+	o.Retry = RetryPolicy{MaxAttempts: 1, Seed: 1}
+	o.Dial = faultnet.NewDialer(faultnet.Repeat(faultnet.Fault{Action: faultnet.Drop, Offset: 600}, 4)).Dial
+	c, err := DialOptions(addr, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec(chaosQuery)
+	if err == nil {
+		t.Fatal("expected mid-result drop to fail")
+	}
+	var xe *ExchangeError
+	if !errors.As(err, &xe) {
+		t.Fatalf("mid-result drop returned untyped %T: %v", err, err)
+	}
+	if xe.QueryHash == 0 {
+		t.Error("missing query hash")
+	}
+	if xe.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", xe.Attempts)
+	}
+	if xe.FrameIndex < 1 || xe.BytesRead <= 0 {
+		t.Errorf("mid-result drop context: frame %d, %d bytes — want progress recorded", xe.FrameIndex, xe.BytesRead)
+	}
+	if !IsRetryable(err) && !IsCorrupt(err) {
+		t.Errorf("mid-result drop classified %v", xe.Kind)
+	}
+	msg := err.Error()
+	if !bytes.Contains([]byte(msg), []byte("exchange error")) {
+		t.Errorf("error lacks exchange context: %q", msg)
+	}
+}
+
+// TestChaosServerSideFaults installs faultnet under the server's ListenFunc
+// hook, so the faults hit the response direction: a corrupted response byte
+// must be caught by the CRC trailer and healed by a retry on the next
+// (clean) accepted connection.
+func TestChaosServerSideFaults(t *testing.T) {
+	d := chaosDB(t)
+	oracleRes, err := d.Exec(chaosQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := canonical(oracleRes)
+
+	for _, f := range []faultnet.Fault{
+		{Action: faultnet.Corrupt, Offset: 2000}, // inside the encoded response
+		{Action: faultnet.Truncate, Offset: 900}, // cut mid-response-frame
+		{Action: faultnet.Drop, Offset: 1500},
+		{Action: faultnet.Refuse},
+	} {
+		srv := NewServer(chaosDB(t))
+		srv.ListenFunc = func(network, addr string) (net.Listener, error) {
+			return faultnet.Listen(network, addr, faultnet.Plan{Conns: []faultnet.Fault{f}})
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// v1 payloads: the ~14KB response guarantees every offset above
+		// lands inside the server's transmission.
+		o := Options{Version: FormatV1, Streaming: true}
+		o.Retry = chaosRetry(4)
+		c, err := DialOptions(addr, o)
+		if err != nil {
+			t.Fatalf("fault %v: dial: %v", f, err)
+		}
+		res, err := c.Exec(chaosQuery)
+		if err != nil {
+			t.Fatalf("server-side fault %v: retrying client failed: %v", f, err)
+		}
+		if got := canonical(res); !bytes.Equal(got, oracle) {
+			t.Fatalf("server-side fault %v: SILENT CORRUPTION", f)
+		}
+		c.Close()
+		if f.Action == faultnet.Corrupt {
+			// The corrupt response must have been detected, not absorbed.
+			if n := c.Reconnects(); n == 0 {
+				t.Errorf("corrupt response healed without a reconnect — CRC never tripped?")
+			}
+		}
+		srv.Close()
+	}
+}
+
+// TestIntegrityNegotiatedByDefault locks the CRC32 handshake in: modern
+// connections get trailers, opt-outs and legacy connections do not, and all
+// of them execute identically.
+func TestIntegrityNegotiated(t *testing.T) {
+	srv := NewServer(chaosDB(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cases := []struct {
+		name string
+		opts Options
+		want bool
+	}{
+		{"default", Options{Version: FormatV2, Streaming: true}, true},
+		{"buffered", Options{Version: FormatV1}, true},
+		{"opt-out", Options{Version: FormatV2, NoIntegrity: true}, false},
+		{"legacy", Options{Legacy: true}, false},
+	}
+	for _, tc := range cases {
+		c, err := DialOptions(addr, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := c.Integrity(); got != tc.want {
+			t.Errorf("%s: integrity = %v, want %v", tc.name, got, tc.want)
+		}
+		if _, err := c.Exec(chaosQuery); err != nil {
+			t.Errorf("%s: exec: %v", tc.name, err)
+		}
+		c.Close()
+	}
+	if n := srv.Stats().ChecksumFailures; n != 0 {
+		t.Errorf("clean traffic produced %d checksum failures", n)
+	}
+}
+
+// TestShutdownKicksIdleConnections: drain must not wait for idle clients.
+func TestShutdownKicksIdleConnections(t *testing.T) {
+	srv := NewServer(chaosDB(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(chaosQuery); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(30 * time.Second) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung on an idle connection")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Shutdown of an idle connection took %v", d)
+	}
+	if n := srv.ActiveConns(); n != 0 {
+		t.Fatalf("%d connections still active after Shutdown", n)
+	}
+	// The listener is gone: new dials must fail (the client with retries
+	// must still surface a typed error, not hang).
+	o := Options{Version: FormatV2}
+	o.Retry = chaosRetry(2)
+	if c2, err := DialOptions(addr, o); err == nil {
+		if _, err := c2.Exec(chaosQuery); err == nil {
+			t.Fatal("Exec succeeded against a shut-down server")
+		}
+		c2.Close()
+	}
+}
+
+// TestShutdownUnderLoad drains while concurrent clients are mid-query:
+// every Exec must either succeed byte-exactly or fail with an error — and
+// the drain must complete.
+func TestShutdownUnderLoad(t *testing.T) {
+	d := chaosDB(t)
+	oracleRes, err := d.Exec(chaosQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := canonical(oracleRes)
+
+	srv := NewServer(chaosDB(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := c.Exec(chaosQuery)
+				if err != nil {
+					return // drained mid-exchange: an error, never bad bytes
+				}
+				if got := canonical(res); !bytes.Equal(got, oracle) {
+					t.Error("SILENT CORRUPTION during drain")
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(10 * time.Second) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("Shutdown hung under load")
+	}
+	close(stop)
+	wg.Wait()
+	if n := srv.ActiveConns(); n != 0 {
+		t.Fatalf("%d connections active after drain", n)
+	}
+	st := srv.Stats()
+	if st.Accepted == 0 || st.Queries == 0 {
+		t.Fatalf("implausible stats after load: %+v", st)
+	}
+}
+
+// TestServerStats checks the counters and their trace rendering.
+func TestServerStats(t *testing.T) {
+	srv := NewServer(chaosDB(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(chaosQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("SELECT nope FROM nowhere"); err == nil {
+		t.Fatal("bad query succeeded")
+	} else if !IsTerminal(err) {
+		t.Errorf("statement error classified %v, want terminal", err)
+	}
+	st := srv.Stats()
+	if st.Accepted < 1 || st.Queries < 2 || st.QueryErrors < 1 {
+		t.Fatalf("stats = %+v, want >=1 accepted, >=2 queries, >=1 error", st)
+	}
+	lines := st.Trace().CompactLines()
+	joined := ""
+	for _, l := range lines {
+		joined += l + "\n"
+	}
+	for _, want := range []string{"conns_accepted: ", "queries: 2", "query_errors: 1"} {
+		if !bytes.Contains([]byte(joined), []byte(want)) {
+			t.Errorf("stats trace missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+// FuzzFaultPlan decodes arbitrary bytes into a bounded fault plan and runs
+// a retrying client under it: the client must neither hang nor panic, and a
+// nil error must mean byte-exact oracle equality.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{2, 40, 10, 4, 90, 0})
+	f.Add([]byte{6, 0, 0, 6, 0, 0, 3, 30, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 24))
+
+	d := chaosDB(f)
+	oracleRes, err := d.Exec(chaosQuery)
+	if err != nil {
+		f.Fatal(err)
+	}
+	oracle := canonical(oracleRes)
+	srv := NewServer(chaosDB(f))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { srv.Close() })
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan := faultnet.DecodePlan(data)
+		o := Options{Version: FormatV2, Streaming: true}
+		o.Retry = RetryPolicy{
+			MaxAttempts:    2,
+			BaseBackoff:    time.Millisecond,
+			MaxBackoff:     2 * time.Millisecond,
+			Jitter:         -1,
+			ConnectTimeout: 2 * time.Second,
+			AttemptTimeout: 5 * time.Second,
+			QueryTimeout:   20 * time.Second,
+			Seed:           1,
+		}
+		o.Dial = faultnet.NewDialer(plan).Dial
+		c, err := DialOptions(addr, o)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		res, err := c.Exec(chaosQuery)
+		if err == nil {
+			if got := canonical(res); !bytes.Equal(got, oracle) {
+				t.Fatalf("plan %v: silent corruption", plan)
+			}
+			return
+		}
+		var xe *ExchangeError
+		if !errors.As(err, &xe) {
+			t.Fatalf("plan %v: untyped error %T: %v", plan, err, err)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrorKind classifies a failed client/server exchange, so callers (the
+// client package, the shell, the retry loop itself) can tell a failure that
+// a fresh connection may fix from one that will repeat forever.
+type ErrorKind uint8
+
+const (
+	// KindRetryable marks transport-level failures — a dropped or reset
+	// connection, a dial failure, a read/write deadline, a server-reported
+	// protocol error. Retrying an idempotent statement on a fresh
+	// connection is safe and may succeed.
+	KindRetryable ErrorKind = iota
+	// KindTerminal marks failures the server produced deliberately: the
+	// statement itself errored. Retrying resends the same statement to the
+	// same answer.
+	KindTerminal
+	// KindCorrupt marks payloads that arrived but failed validation — a
+	// checksum mismatch, an undecodable or version-mismatched payload, a
+	// desynchronized frame stream. The bytes cannot be trusted; a retry
+	// re-fetches from scratch.
+	KindCorrupt
+)
+
+// String names the kind ("retryable", "terminal", "corrupt").
+func (k ErrorKind) String() string {
+	switch k {
+	case KindRetryable:
+		return "retryable"
+	case KindTerminal:
+		return "terminal"
+	case KindCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ExchangeError is the typed error the wire client returns: the underlying
+// failure wrapped with enough query context to diagnose a mid-stream death —
+// which statement (by text hash, so logs don't leak query text), how far the
+// response had progressed (frames consumed, payload bytes read), and how many
+// attempts were made before giving up.
+type ExchangeError struct {
+	// Kind classifies whether a retry could have helped.
+	Kind ErrorKind
+	// QueryHash is the FNV-1a hash of the statement text.
+	QueryHash uint64
+	// Attempts is the number of attempts made, including the failing one.
+	Attempts int
+	// FrameIndex is the number of response frames consumed in the failing
+	// attempt when the error struck.
+	FrameIndex int
+	// BytesRead is the payload byte count received in the failing attempt.
+	BytesRead int64
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ExchangeError) Error() string {
+	return fmt.Sprintf("wire: %s exchange error (query %016x, attempt %d, frame %d, %d payload bytes read): %v",
+		e.Kind, e.QueryHash, e.Attempts, e.FrameIndex, e.BytesRead, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *ExchangeError) Unwrap() error { return e.Err }
+
+// Classify extracts the error kind from any error produced by the client.
+// Errors from other sources report false.
+func Classify(err error) (ErrorKind, bool) {
+	var xe *ExchangeError
+	if errors.As(err, &xe) {
+		return xe.Kind, true
+	}
+	return 0, false
+}
+
+// IsRetryable reports whether err is a classified transient transport
+// failure (an exhausted retry loop still reports its last failure's kind).
+func IsRetryable(err error) bool {
+	k, ok := Classify(err)
+	return ok && k == KindRetryable
+}
+
+// IsTerminal reports whether err is a classified server-side statement
+// failure.
+func IsTerminal(err error) bool {
+	k, ok := Classify(err)
+	return ok && k == KindTerminal
+}
+
+// IsCorrupt reports whether err is a classified corrupt-payload failure.
+func IsCorrupt(err error) bool {
+	k, ok := Classify(err)
+	return ok && k == KindCorrupt
+}
+
+// queryHash is the allocation-free FNV-1a the ExchangeError context uses.
+func queryHash(sql string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(sql); i++ {
+		h ^= uint64(sql[i])
+		h *= prime64
+	}
+	return h
+}

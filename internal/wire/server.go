@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"resultdb/internal/db"
+	"resultdb/internal/trace"
 )
 
 // Frame types of the protocol. Every frame is a 1-byte type, a 4-byte
@@ -20,14 +22,21 @@ import (
 // A connection that never sends frameHello speaks the original protocol:
 // v1 payloads, one frameOK per query. After a hello exchange (uvarint
 // version + uvarint flags in both directions; flag bit 0 requests
-// streaming), responses use the negotiated payload version, and — when
-// streaming was granted — arrive as frameChunk frames terminated by a
-// frameEnd. The concatenated chunk payloads are byte-identical to the
-// frameOK payload the same query would have produced unstreamed; chunking
-// exists so the server can flush relation-by-relation while the executor is
-// still projecting later relations. A frameErr may replace frameOK or
-// interrupt a chunk stream at any point (the client discards the partial
-// buffer).
+// streaming, bit 1 requests CRC32 frame trailers), responses use the
+// negotiated payload version, and — when streaming was granted — arrive as
+// frameChunk frames terminated by a frameEnd. The concatenated chunk
+// payloads are byte-identical to the frameOK payload the same query would
+// have produced unstreamed; chunking exists so the server can flush
+// relation-by-relation while the executor is still projecting later
+// relations. A frameErr may replace frameOK or interrupt a chunk stream at
+// any point (the client discards the partial buffer).
+//
+// When the integrity flag is granted, every frame after the hello exchange
+// — both directions — carries a 4-byte big-endian CRC32-IEEE trailer over
+// the header and payload, so a flipped bit anywhere surfaces as a typed
+// checksum error instead of silently wrong data. The hello frames
+// themselves always travel trailer-free (the grant is not known yet), and
+// hello-less legacy connections are byte-for-byte unchanged.
 const (
 	frameQuery byte = 1 // client -> server: SQL text
 	frameOK    byte = 2 // server -> client: encoded Result
@@ -37,37 +46,39 @@ const (
 	frameEnd   byte = 6 // server -> client: end of chunked response
 )
 
-// helloStreaming is the hello flag bit requesting (client) or granting
-// (server) streamed responses.
-const helloStreaming = 1 << 0
+// Hello flag bits: each is requested by the client and echoed by the server
+// iff granted.
+const (
+	// helloStreaming requests/grants streamed (chunked) responses.
+	helloStreaming = 1 << 0
+	// helloIntegrity requests/grants CRC32 frame trailers on every
+	// post-hello frame in both directions.
+	helloIntegrity = 1 << 1
+)
 
 // encodeHello builds a hello payload.
-func encodeHello(version int, streaming bool) []byte {
+func encodeHello(version int, flags uint64) []byte {
 	e := NewEncoderSized(4)
 	e.uvarint(uint64(version))
-	var flags uint64
-	if streaming {
-		flags |= helloStreaming
-	}
 	e.uvarint(flags)
 	return e.Bytes()
 }
 
 // decodeHello parses a hello payload.
-func decodeHello(payload []byte) (version int, streaming bool, err error) {
+func decodeHello(payload []byte) (version int, flags uint64, err error) {
 	d := NewDecoder(payload)
 	v, err := d.uvarint()
 	if err != nil {
-		return 0, false, err
+		return 0, 0, err
 	}
-	flags, err := d.uvarint()
+	flags, err = d.uvarint()
 	if err != nil {
-		return 0, false, err
+		return 0, 0, err
 	}
 	if d.Remaining() != 0 {
-		return 0, false, fmt.Errorf("wire: %d trailing bytes in hello", d.Remaining())
+		return 0, 0, fmt.Errorf("wire: %d trailing bytes in hello", d.Remaining())
 	}
-	return int(v), flags&helloStreaming != 0, nil
+	return int(v), flags, nil
 }
 
 const maxFrame = 1 << 30
@@ -77,6 +88,11 @@ const maxFrame = 1 << 30
 // the server answers frameErr and drops the connection instead of silently
 // dying.
 var errFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// errChecksum marks a frame whose CRC32 trailer did not match its contents.
+// The frame arrived whole — the stream is still synchronized — but its bytes
+// cannot be trusted.
+var errChecksum = errors.New("wire: frame checksum mismatch")
 
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	var hdr [5]byte
@@ -105,6 +121,132 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	return hdr[0], payload, nil
 }
 
+// writeFrameCRC writes one frame, appending the CRC32-IEEE trailer (over
+// header and payload) when crc is set.
+func writeFrameCRC(w io.Writer, typ byte, payload []byte, crc bool) error {
+	if !crc {
+		return writeFrame(w, typ, payload)
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	sum := crc32.ChecksumIEEE(hdr[:])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], sum)
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// readFrameCRC reads one frame, consuming and verifying the CRC32 trailer
+// when crc is set. A mismatch returns errChecksum (wrapped) with the frame
+// fully consumed, so the stream stays synchronized.
+func readFrameCRC(r io.Reader, crc bool) (byte, []byte, error) {
+	if !crc {
+		return readFrame(r)
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w (%d bytes > %d)", errFrameTooLarge, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return 0, nil, err
+	}
+	sum := crc32.ChecksumIEEE(hdr[:])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	if got := binary.BigEndian.Uint32(trailer[:]); got != sum {
+		return 0, nil, fmt.Errorf("%w (frame type %d, %d bytes, got %08x want %08x)",
+			errChecksum, hdr[0], n, got, sum)
+	}
+	return hdr[0], payload, nil
+}
+
+// serverStats is the server's atomic counter block; ServerStats is its
+// exported snapshot.
+type serverStats struct {
+	accepted          atomic.Int64
+	queries           atomic.Int64
+	queryErrors       atomic.Int64
+	panics            atomic.Int64
+	writeStalls       atomic.Int64
+	oversizedFrames   atomic.Int64
+	checksumFailures  atomic.Int64
+	drained           atomic.Int64
+	backpressureWaits atomic.Int64
+}
+
+// ServerStats is a point-in-time snapshot of the server's operational
+// counters, for overload and fault diagnosis.
+type ServerStats struct {
+	// Accepted counts connections accepted over the server's lifetime.
+	Accepted int64 `json:"accepted"`
+	// Queries counts statements executed (including failing ones).
+	Queries int64 `json:"queries"`
+	// QueryErrors counts statements that returned an error.
+	QueryErrors int64 `json:"query_errors"`
+	// Panics counts executor panics confined to their connection.
+	Panics int64 `json:"panics"`
+	// WriteStalls counts connections shed because a response write missed
+	// the WriteTimeout — a slow or stuck client reader.
+	WriteStalls int64 `json:"write_stalls"`
+	// OversizedFrames counts inbound frames rejected for exceeding the
+	// frame size limit.
+	OversizedFrames int64 `json:"oversized_frames"`
+	// ChecksumFailures counts inbound frames whose CRC32 trailer did not
+	// match.
+	ChecksumFailures int64 `json:"checksum_failures"`
+	// Drained counts connections that exited via graceful drain.
+	Drained int64 `json:"drained"`
+	// BackpressureWaits counts accepts that had to wait for a MaxConns
+	// slot — sustained growth means the server is saturated.
+	BackpressureWaits int64 `json:"backpressure_waits"`
+}
+
+// Trace renders the counters as a trace — one "counter" span each — so the
+// server's operational state reuses the EXPLAIN ANALYZE rendering path
+// (trace.CompactLines / trace.TreeLines).
+func (st ServerStats) Trace() *trace.Trace {
+	counters := []struct {
+		name  string
+		value int64
+	}{
+		{"conns_accepted", st.Accepted},
+		{"queries", st.Queries},
+		{"query_errors", st.QueryErrors},
+		{"panics", st.Panics},
+		{"write_stalls", st.WriteStalls},
+		{"oversized_frames", st.OversizedFrames},
+		{"checksum_failures", st.ChecksumFailures},
+		{"conns_drained", st.Drained},
+		{"backpressure_waits", st.BackpressureWaits},
+	}
+	tr := &trace.Trace{Mode: "server-stats"}
+	for _, c := range counters {
+		tr.Spans = append(tr.Spans, trace.Span{
+			Op:      "counter",
+			Label:   c.name,
+			Phase:   "server",
+			RowsOut: int(c.value),
+		})
+	}
+	return tr
+}
+
 // Server exposes a Database over TCP. Configure the hardening knobs before
 // Listen; they are not safe to change while serving.
 type Server struct {
@@ -115,23 +257,33 @@ type Server struct {
 	// deadline is re-armed before every frame read, so a busy connection
 	// lives forever and an abandoned one is reaped.
 	ReadTimeout time.Duration
-	// WriteTimeout bounds writing one response frame; zero means none.
+	// WriteTimeout bounds writing one response frame; zero means none. A
+	// write that misses it sheds the connection (a stuck client reader must
+	// not pin a server goroutine and its response buffer forever) and
+	// counts as a write stall in Stats.
 	WriteTimeout time.Duration
 	// MaxConns caps concurrently served connections (0 = unlimited). The
 	// accept loop blocks once the cap is reached, leaving excess dials in
 	// the kernel backlog until a slot frees — clients see latency, not
-	// errors, under overload.
+	// errors, under overload. Waits are counted in Stats.
 	MaxConns int
 	// MaxVersion clamps version negotiation (0 = FormatV2, the highest
 	// supported). Set to FormatV1 to force every connection onto the
 	// original row-major payloads regardless of what clients request.
 	MaxVersion int
+	// ListenFunc overrides how Listen binds the socket — the fault-injection
+	// hook (wrap the listener with faultnet) and test seam. nil means
+	// net.Listen.
+	ListenFunc func(network, addr string) (net.Listener, error)
 
-	mu sync.Mutex
-	ln net.Listener
-	wg sync.WaitGroup
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
 
-	active atomic.Int64
+	active   atomic.Int64
+	draining atomic.Bool
+	stats    serverStats
 }
 
 // NewServer wraps a database.
@@ -140,15 +292,37 @@ func NewServer(d *db.Database) *Server { return &Server{db: d} }
 // ActiveConns reports the number of connections currently being served.
 func (s *Server) ActiveConns() int { return int(s.active.Load()) }
 
+// Stats snapshots the server's operational counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Accepted:          s.stats.accepted.Load(),
+		Queries:           s.stats.queries.Load(),
+		QueryErrors:       s.stats.queryErrors.Load(),
+		Panics:            s.stats.panics.Load(),
+		WriteStalls:       s.stats.writeStalls.Load(),
+		OversizedFrames:   s.stats.oversizedFrames.Load(),
+		ChecksumFailures:  s.stats.checksumFailures.Load(),
+		Drained:           s.stats.drained.Load(),
+		BackpressureWaits: s.stats.backpressureWaits.Load(),
+	}
+}
+
 // Listen binds addr ("host:port"; ":0" picks a free port) and starts
 // serving in the background. It returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
+	listen := s.ListenFunc
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	s.mu.Lock()
 	s.ln = ln
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
 	s.mu.Unlock()
 	var sem chan struct{}
 	if s.MaxConns > 0 {
@@ -167,12 +341,35 @@ func (s *Server) acceptLoop(ln net.Listener, sem chan struct{}) {
 			return // closed
 		}
 		if sem != nil {
-			sem <- struct{}{} // blocks accepting beyond MaxConns
+			select {
+			case sem <- struct{}{}:
+			default:
+				// Saturated: record the overload signal, then block
+				// accepting beyond MaxConns as before.
+				s.stats.backpressureWaits.Add(1)
+				sem <- struct{}{}
+			}
 		}
+		if s.draining.Load() {
+			// Shutdown raced the accept: refuse the connection rather than
+			// start work the drain would have to wait for.
+			conn.Close()
+			if sem != nil {
+				<-sem
+			}
+			continue
+		}
+		s.stats.accepted.Add(1)
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		s.active.Add(1)
 		go func() {
 			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
 				s.active.Add(-1)
 				if sem != nil {
 					<-sem
@@ -192,23 +389,54 @@ func (s *Server) maxVersion() int {
 	return s.MaxVersion
 }
 
+// execBuffered runs one statement with panics confined to the connection:
+// an executor panic becomes a statement error (terminal for the client — a
+// deterministic panic would just repeat) instead of a dead server.
+func (s *Server) execBuffered(sql string) (res *db.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.stats.panics.Add(1)
+			err = fmt.Errorf("internal error: %v", p)
+		}
+	}()
+	return s.db.Exec(sql)
+}
+
+// isTimeout reports whether err is a deadline miss.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		// Belt and braces: a panic anywhere in the connection loop (outside
+		// the per-statement recover) kills this connection only.
+		if p := recover(); p != nil {
+			s.stats.panics.Add(1)
+		}
+		conn.Close()
+	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	// Connection state: hello-less clients get the original protocol (v1
-	// payloads, buffered frameOK responses) byte for byte.
+	// payloads, buffered frameOK responses, no trailers) byte for byte.
 	version := FormatV1
 	streaming := false
+	integrity := false
 	// reply writes one response frame under the write deadline and flushes.
 	reply := func(typ byte, payload []byte) error {
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		if err := writeFrame(w, typ, payload); err != nil {
-			return err
+		err := writeFrameCRC(w, typ, payload, integrity)
+		if err == nil {
+			err = w.Flush()
 		}
-		return w.Flush()
+		if isTimeout(err) {
+			s.stats.writeStalls.Add(1)
+		}
+		return err
 	}
 	// send writes one frame without flushing (chunk pipelining: the flush
 	// happens per chunk in the stream writer, after the frame is complete).
@@ -216,25 +444,45 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		return writeFrame(w, typ, payload)
+		err := writeFrameCRC(w, typ, payload, integrity)
+		if isTimeout(err) {
+			s.stats.writeStalls.Add(1)
+		}
+		return err
 	}
 	for {
+		if s.draining.Load() {
+			s.stats.drained.Add(1)
+			return // in-flight response finished; refuse further queries
+		}
 		if s.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
 		}
-		typ, payload, err := readFrame(r)
+		typ, payload, err := readFrameCRC(r, integrity)
 		if err != nil {
 			if errors.Is(err, errFrameTooLarge) {
 				// Answer before dropping: the stream cannot be resynced past
 				// an unread oversized payload, but the client deserves to
 				// know why the connection is going away.
+				s.stats.oversizedFrames.Add(1)
 				reply(frameErr, []byte(err.Error()))
+			}
+			if errors.Is(err, errChecksum) {
+				// The frame arrived whole but its bytes cannot be trusted —
+				// possibly a corrupted query that would execute as a
+				// different statement. Report and shed the connection; the
+				// link is unreliable.
+				s.stats.checksumFailures.Add(1)
+				reply(frameErr, []byte(err.Error()))
+			}
+			if s.draining.Load() {
+				s.stats.drained.Add(1)
 			}
 			return // client gone, idle timeout, or poisoned stream
 		}
 		switch typ {
 		case frameHello:
-			v, wantStream, err := decodeHello(payload)
+			v, flags, err := decodeHello(payload)
 			if err != nil {
 				reply(frameErr, []byte(err.Error()))
 				return
@@ -244,24 +492,37 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			version = min(v, s.maxVersion())
-			streaming = wantStream
-			if err := reply(frameHello, encodeHello(version, streaming)); err != nil {
+			streaming = flags&helloStreaming != 0
+			wantIntegrity := flags&helloIntegrity != 0
+			var grant uint64
+			if streaming {
+				grant |= helloStreaming
+			}
+			if wantIntegrity {
+				grant |= helloIntegrity
+			}
+			// The grant reply itself travels trailer-free; the trailer
+			// discipline starts with the next frame in either direction.
+			if err := reply(frameHello, encodeHello(version, grant)); err != nil {
 				return
 			}
+			integrity = wantIntegrity
 			continue
 		case frameQuery:
 		default:
 			reply(frameErr, []byte(fmt.Sprintf("unexpected frame type %d", typ)))
 			return
 		}
+		s.stats.queries.Add(1)
 		if streaming {
 			if !s.serveStreamed(string(payload), version, reply, send, w) {
 				return
 			}
 			continue
 		}
-		res, err := s.db.Exec(string(payload))
+		res, err := s.execBuffered(string(payload))
 		if err != nil {
+			s.stats.queryErrors.Add(1)
 			if werr := reply(frameErr, []byte(err.Error())); werr != nil {
 				return
 			}
@@ -285,7 +546,8 @@ func (s *Server) serveStreamed(sql string, version int, reply, send func(byte, [
 
 	// Ordered delivery pipeline: emit enqueues a promise per chunk; the
 	// writer resolves them in order. Capacity bounds how far encoding may
-	// run ahead of the network.
+	// run ahead of the network. A nil resolved payload marks a panicked
+	// encode — the writer aborts the stream rather than send a gap.
 	queue := make(chan chan []byte, 4)
 	writeErr := make(chan error, 1)
 	failed := make(chan struct{})
@@ -297,7 +559,9 @@ func (s *Server) serveStreamed(sql string, version int, reply, send func(byte, [
 			if err != nil {
 				continue // drain remaining promises after a write error
 			}
-			if werr := send(frameChunk, data); werr != nil {
+			if data == nil {
+				err = errors.New("wire: chunk encode panicked")
+			} else if werr := send(frameChunk, data); werr != nil {
 				err = werr
 			} else if werr := w.Flush(); werr != nil {
 				err = werr
@@ -310,7 +574,19 @@ func (s *Server) serveStreamed(sql string, version int, reply, send func(byte, [
 	}()
 	enqueue := func(encode func() []byte) error {
 		p := make(chan []byte, 1)
-		go func() { p <- encode() }()
+		go func() {
+			defer func() {
+				if pn := recover(); pn != nil {
+					s.stats.panics.Add(1)
+					p <- nil // resolve the promise so the writer never hangs
+				}
+			}()
+			data := encode()
+			if data == nil {
+				data = []byte{}
+			}
+			p <- data
+		}()
 		select {
 		case queue <- p:
 			return nil
@@ -319,21 +595,29 @@ func (s *Server) serveStreamed(sql string, version int, reply, send func(byte, [
 		}
 	}
 
-	res, execErr := s.db.ExecStream(sql,
-		func(meta db.StreamMeta) error {
-			return enqueue(func() []byte {
-				e := NewEncoderSized(16)
-				e.encodeHeader(version, meta.NumSets, meta.Plan != nil)
-				return e.Bytes()
+	res, execErr := func() (res *db.Result, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.stats.panics.Add(1)
+				err = fmt.Errorf("internal error: %v", p)
+			}
+		}()
+		return s.db.ExecStream(sql,
+			func(meta db.StreamMeta) error {
+				return enqueue(func() []byte {
+					e := NewEncoderSized(16)
+					e.encodeHeader(version, meta.NumSets, meta.Plan != nil)
+					return e.Bytes()
+				})
+			},
+			func(set *db.ResultSet) error {
+				return enqueue(func() []byte {
+					e := NewEncoderSized(setCapacityHint(set))
+					e.encodeSetVersion(set, version, par)
+					return e.Bytes()
+				})
 			})
-		},
-		func(set *db.ResultSet) error {
-			return enqueue(func() []byte {
-				e := NewEncoderSized(setCapacityHint(set))
-				e.encodeSetVersion(set, version, par)
-				return e.Bytes()
-			})
-		})
+	}()
 	if execErr == nil && res.PostJoinPlan != nil {
 		execErr = enqueue(func() []byte {
 			e := NewEncoder()
@@ -347,6 +631,7 @@ func (s *Server) serveStreamed(sql string, version int, reply, send func(byte, [
 		return false
 	}
 	if execErr != nil {
+		s.stats.queryErrors.Add(1)
 		// Either the statement failed (possibly mid-stream — the client
 		// discards the partial response) or enqueue aborted on a write
 		// error already handled above.
@@ -355,204 +640,55 @@ func (s *Server) serveStreamed(sql string, version int, reply, send func(byte, [
 	return reply(frameEnd, nil) == nil
 }
 
-// Close stops the listener and waits for in-flight connections.
-func (s *Server) Close() error {
+// Shutdown drains the server gracefully: new accepts are refused, idle
+// connections are kicked immediately, busy connections finish their
+// in-flight query and response, and Shutdown returns once every connection
+// has exited. A positive timeout bounds the wait — connections still alive
+// when it expires are force-closed. Safe to call more than once.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	ln := s.ln
 	s.ln = nil
+	// Kick every connection out of its blocking frame read: the deadline is
+	// absolute and already past, so even a read armed after this loop fails
+	// fast, and a connection mid-query merely finishes its response first
+	// (write deadlines are untouched) and exits at the loop-top drain check.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case <-done:
+	case <-expired:
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
 }
 
-// Client speaks the protocol to a Server.
-//
-// Concurrency contract: Exec is safe for concurrent use — a mutex serializes
-// whole request/response exchanges on the single underlying connection, so
-// concurrent Execs queue and run one at a time (open one Client per desired
-// in-flight request for pipelining). BytesRead may be read concurrently with
-// in-flight Execs. Close may be called at any time; Execs blocked on the
-// connection fail with the close error.
-type Client struct {
-	conn net.Conn
-
-	mu sync.Mutex // serializes one full Exec exchange
-	r  *bufio.Reader
-	w  *bufio.Writer
-
-	helloPending bool // hello sent at dial time, reply not yet consumed
-	version      int  // negotiated payload version (FormatV1 without a hello)
-	streaming    bool // negotiated streamed responses
-
-	bytesRead atomic.Int64
+// Close stops the listener and drains with no time bound (connections are
+// still kicked out of idle reads, so this returns as soon as in-flight
+// queries finish).
+func (s *Server) Close() error {
+	return s.Shutdown(0)
 }
-
-// Options configures a client connection.
-type Options struct {
-	// Version is the payload version to request (FormatV1 or FormatV2;
-	// 0 = FormatV2). The server may clamp it down; Version() reports the
-	// negotiated outcome.
-	Version int
-	// Streaming requests chunked responses (server-side pipelining of
-	// execution, encoding, and transmission).
-	Streaming bool
-	// Legacy skips the hello exchange entirely, reproducing the original
-	// protocol byte for byte: v1 payloads, buffered responses. Version and
-	// Streaming are ignored.
-	Legacy bool
-}
-
-// Dial connects to a server, negotiating the newest payload version and
-// streamed responses. Use DialOptions to pin a version or disable either.
-func Dial(addr string) (*Client, error) {
-	return DialOptions(addr, Options{Version: FormatV2, Streaming: true})
-}
-
-// DialOptions connects to a server with explicit protocol options. The hello
-// is written at dial time but the server's reply is consumed lazily, on the
-// first Exec (or Version/Streaming call) — so dialing an overloaded server
-// queues instead of blocking, exactly like the legacy protocol: clients see
-// latency, not errors, and negotiation failures surface on first use.
-func DialOptions(addr string, opts Options) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), version: FormatV1}
-	if opts.Legacy {
-		return c, nil
-	}
-	want := opts.Version
-	if want == 0 {
-		want = FormatV2
-	}
-	if err := writeFrame(c.w, frameHello, encodeHello(want, opts.Streaming)); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if err := c.w.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	c.helloPending = true
-	return c, nil
-}
-
-// finishHello consumes the server's hello reply if one is still in flight.
-// Callers must hold c.mu. On failure the connection is unusable; the pending
-// flag stays set so every subsequent call reports an error too.
-func (c *Client) finishHello() error {
-	if !c.helloPending {
-		return nil
-	}
-	typ, payload, err := readFrame(c.r)
-	if err != nil {
-		return err
-	}
-	switch typ {
-	case frameHello:
-		v, streaming, err := decodeHello(payload)
-		if err != nil {
-			return err
-		}
-		if v != FormatV1 && v != FormatV2 {
-			return fmt.Errorf("wire: server negotiated unsupported version %d", v)
-		}
-		c.version = v
-		c.streaming = streaming
-		c.helloPending = false
-		return nil
-	case frameErr:
-		return errors.New(string(payload))
-	default:
-		return fmt.Errorf("wire: unexpected frame type %d in hello exchange", typ)
-	}
-}
-
-// Version reports the negotiated payload version (FormatV1 or FormatV2),
-// completing the hello exchange if its reply is still in flight. Reports
-// FormatV1 if negotiation failed (the next Exec returns the actual error).
-func (c *Client) Version() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.finishHello()
-	return c.version
-}
-
-// Streaming reports whether responses arrive as chunk streams, completing
-// the hello exchange if its reply is still in flight.
-func (c *Client) Streaming() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.finishHello()
-	return c.streaming
-}
-
-// BytesRead returns the accumulated payload bytes received, for transfer
-// accounting. Safe to call concurrently with Exec.
-func (c *Client) BytesRead() int { return int(c.bytesRead.Load()) }
-
-// Exec sends one statement and decodes the response. Safe for concurrent
-// use; see the Client concurrency contract.
-func (c *Client) Exec(sql string) (*db.Result, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.w, frameQuery, []byte(sql)); err != nil {
-		return nil, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return nil, err
-	}
-	// The query is already in flight; now settle the negotiation reply (if
-	// pending) so we know how to read the response that follows it.
-	if err := c.finishHello(); err != nil {
-		return nil, err
-	}
-	if c.streaming {
-		return c.readStreamed()
-	}
-	typ, payload, err := readFrame(c.r)
-	if err != nil {
-		return nil, err
-	}
-	c.bytesRead.Add(int64(len(payload)))
-	switch typ {
-	case frameOK:
-		return DecodeResultExpect(payload, c.version)
-	case frameErr:
-		return nil, errors.New(string(payload))
-	default:
-		return nil, fmt.Errorf("wire: unexpected frame type %d", typ)
-	}
-}
-
-// readStreamed collects one chunked response. The concatenated chunks are
-// exactly the payload an unstreamed frameOK would have carried; a frameErr
-// at any point aborts the response and the partial buffer is discarded.
-func (c *Client) readStreamed() (*db.Result, error) {
-	var buf []byte
-	for {
-		typ, payload, err := readFrame(c.r)
-		if err != nil {
-			return nil, err
-		}
-		c.bytesRead.Add(int64(len(payload)))
-		switch typ {
-		case frameChunk:
-			buf = append(buf, payload...)
-		case frameEnd:
-			return DecodeResultExpect(buf, c.version)
-		case frameErr:
-			return nil, errors.New(string(payload))
-		default:
-			return nil, fmt.Errorf("wire: unexpected frame type %d in chunked response", typ)
-		}
-	}
-}
-
-// Close tears the connection down.
-func (c *Client) Close() error { return c.conn.Close() }

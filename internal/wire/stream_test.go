@@ -225,7 +225,7 @@ func TestClientAbandonsStreamOnMidStreamError(t *testing.T) {
 		if err != nil {
 			return
 		}
-		writeFrame(conn, frameHello, encodeHello(v, true))
+		writeFrame(conn, frameHello, encodeHello(v, helloStreaming))
 		// Query: answer with one chunk, then die mid-stream.
 		if typ, _, err = readFrame(conn); err != nil || typ != frameQuery {
 			return
@@ -269,7 +269,7 @@ func TestClientRejectsDowngradedPayload(t *testing.T) {
 		if err != nil {
 			return
 		}
-		writeFrame(conn, frameHello, encodeHello(v, false))
+		writeFrame(conn, frameHello, encodeHello(v, 0))
 		if typ, _, err = readFrame(conn); err != nil || typ != frameQuery {
 			return
 		}

@@ -11,9 +11,11 @@
 # parallelism degrees and cache settings), the wire v2 differential gate
 # (columnar payloads and streamed transfer byte-identical to a row-path
 # oracle across workloads, parallelism degrees, and connection flavors), a
-# vectorized benchmark smoke, a short fuzzing pass over the two
-# byte-hostile surfaces (SQL text in, wire bytes in), and the tracer
-# overhead guard.
+# vectorized benchmark smoke, the chaos differential gate (fault-injected
+# connections must either converge to the byte-exact oracle after retries
+# or fail with a typed terminal error — never silent corruption), a short
+# fuzzing pass over the three byte-hostile surfaces (SQL text in, wire
+# bytes in, fault plans in), and the tracer overhead guard.
 set -eu
 
 cd "$(dirname "$0")"
@@ -27,10 +29,10 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel, colstore, engine, core, bloom, trace, db, cache, wire)"
-go test -race ./internal/parallel ./internal/colstore ./internal/engine \
+echo "== go test -race (parallel, colstore, engine, core, bloom, trace, db, cache, wire, faultnet, client)"
+go test -race -timeout 300s ./internal/parallel ./internal/colstore ./internal/engine \
 	./internal/core ./internal/bloom ./internal/trace ./internal/db \
-	./internal/cache ./internal/wire
+	./internal/cache ./internal/wire ./internal/faultnet ./internal/client
 
 echo "== cache differential + stress gate (cold/warm/invalidate vs uncached oracle, under -race)"
 go test -race -run 'TestCacheDifferential|TestServerCacheStress' -count=1 ./internal/wire
@@ -42,12 +44,18 @@ echo "== wire v2 differential gate (v2 buffered/streamed x par vs v1 oracle, v2 
 go test -race -run 'TestWireV2Differential|TestStreamedMatchesBuffered|TestExecStream' -count=1 \
 	./internal/wire ./internal/db
 
+echo "== chaos differential gate (fault plans x v1/v2 x buffered/streamed x par, under -race)"
+go test -race -timeout 300s -count=1 \
+	-run 'TestChaos|TestIntegrityNegotiated|TestShutdown|TestServerStats' \
+	./internal/wire
+
 echo "== vectorized benchmark smoke (both paths run once on the 16b plan)"
 go test -run '^$' -bench 'BenchmarkVectorized(Join|Reduce)16b' -benchtime 1x .
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
 go test -run '^$' -fuzz FuzzEncodeDecode -fuzztime 10s ./internal/wire
+go test -run '^$' -fuzz FuzzFaultPlan -fuzztime 10s ./internal/wire
 
 echo "== tracer overhead guard"
 # The disabled (nil) tracer path is guarded structurally — it must not
