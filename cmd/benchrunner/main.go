@@ -14,13 +14,16 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"resultdb/internal/bench"
 	"resultdb/internal/db"
+	"resultdb/internal/durable"
 	"resultdb/internal/parallel"
 	"resultdb/internal/sqlparse"
 	"resultdb/internal/trace"
+	"resultdb/internal/wal"
 	"resultdb/internal/wire"
 	"resultdb/internal/workload/job"
 	"resultdb/internal/workload/ssb"
@@ -39,9 +42,17 @@ func main() {
 		cacheRep  = flag.Bool("cache", false, "report cold vs warm timings with the semantic result cache and exit")
 		vecRep    = flag.Bool("vec", false, "report row-path vs vectorized-path timings per JOB query and exit")
 		wireRep   = flag.String("wire", "", "report per-query encoded payload size, encode time and modeled transfer time for the listed wire versions (comma list of v1,v2) and exit")
+		durRep    = flag.Bool("durability", false, "report WAL ingest throughput across fsync policies and group-commit settings, plus recovery time vs WAL length, and exit")
 	)
 	flag.Parse()
 
+	if *durRep {
+		if err := durabilityReport(*reps); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *scale, *reps, *mbps, *queries, *par, *traceFile, *cacheRep, *vecRep, *wireRep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
@@ -379,6 +390,134 @@ func wireReport(env *bench.Env, names []string, scale float64, par int, mbps flo
 	}
 	if both && n > 0 {
 		fmt.Printf("\ngeomean compression ratio (v1/v2 bytes): %.2fx over %d queries\n", math.Exp(logSum/float64(n)), n)
+	}
+	return nil
+}
+
+// durabilityReport measures the write-ahead log two ways. First, ingest
+// throughput: concurrent writers insert into a durable database on a real
+// temporary directory under every fsync policy, with group commit on and
+// off, reporting statements/sec and how many fsyncs the run actually paid
+// (group commit's whole point is the gap between sync requests and fsyncs).
+// Second, recovery time: WALs of growing length are replayed from an
+// in-memory filesystem (so the numbers isolate replay CPU, not disk reads).
+func durabilityReport(reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
+	const (
+		writers          = 8
+		insertsPerWriter = 100
+	)
+	total := writers * insertsPerWriter
+	bootstrap := func(d *db.Database) error {
+		_, err := d.Exec("CREATE TABLE ingest (id INTEGER PRIMARY KEY, payload TEXT)")
+		return err
+	}
+
+	fmt.Printf("WAL ingest throughput: %d writers x %d inserts, best of %d runs\n", writers, insertsPerWriter, reps)
+	fmt.Printf("%-10s %-6s %12s %10s %14s %14s\n", "fsync", "group", "stmts/s", "fsyncs", "sync reqs", "group shared")
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncOff} {
+		for _, group := range []bool{true, false} {
+			var best time.Duration
+			var bestStats wal.Stats
+			for r := 0; r < reps; r++ {
+				dir, err := os.MkdirTemp("", "walbench")
+				if err != nil {
+					return err
+				}
+				mgr, d, err := durable.Open(durable.Options{
+					Dir:           dir,
+					Fsync:         policy,
+					NoGroupCommit: !group,
+				}, bootstrap)
+				if err != nil {
+					os.RemoveAll(dir)
+					return err
+				}
+				start := time.Now()
+				var wg sync.WaitGroup
+				errs := make([]error, writers)
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := 0; i < insertsPerWriter; i++ {
+							id := w*insertsPerWriter + i
+							sql := fmt.Sprintf("INSERT INTO ingest VALUES (%d, 'row-%d')", id, id)
+							if _, err := d.Exec(sql); err != nil {
+								errs[w] = err
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				st := mgr.Stats().Wal
+				mgr.Close()
+				os.RemoveAll(dir)
+				for _, err := range errs {
+					if err != nil {
+						return err
+					}
+				}
+				if r == 0 || elapsed < best {
+					best, bestStats = elapsed, st
+				}
+			}
+			groupLabel := "on"
+			if !group {
+				groupLabel = "off"
+			}
+			fmt.Printf("%-10s %-6s %12.0f %10d %14d %14d\n",
+				policy, groupLabel, float64(total)/best.Seconds(),
+				bestStats.Fsyncs, bestStats.SyncRequests, bestStats.GroupShared)
+		}
+	}
+
+	fmt.Printf("\nRecovery time vs WAL length (in-memory fs, no checkpoint, best of %d runs)\n", reps)
+	fmt.Printf("%-10s %12s %12s %14s\n", "records", "wal bytes", "recover", "records/s")
+	for _, n := range []int{256, 1024, 4096} {
+		fsys := wal.NewMemFS()
+		mgr, d, err := durable.Open(durable.Options{FS: fsys, Fsync: wal.SyncOff}, bootstrap)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if _, err := d.Exec(fmt.Sprintf("INSERT INTO ingest VALUES (%d, 'row-%d')", i, i)); err != nil {
+				return err
+			}
+		}
+		walBytes := mgr.Stats().Wal.Bytes
+		if err := mgr.Close(); err != nil {
+			return err
+		}
+		var best time.Duration
+		for r := 0; r < reps; r++ {
+			img := fsys.Clone()
+			start := time.Now()
+			mgr2, d2, err := durable.Open(durable.Options{FS: img, Fsync: wal.SyncOff}, bootstrap)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			if got := int64(mgr2.Stats().Replayed); got != int64(n) {
+				return fmt.Errorf("recovery replayed %d records, want %d", got, n)
+			}
+			tbl, err := d2.Table("ingest")
+			if err != nil {
+				return err
+			}
+			if tbl.Len() != n {
+				return fmt.Errorf("recovered %d rows, want %d", tbl.Len(), n)
+			}
+			mgr2.Close()
+			if r == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		fmt.Printf("%-10d %12d %12s %14.0f\n", n, walBytes, best.Round(time.Microsecond), float64(n)/best.Seconds())
 	}
 	return nil
 }

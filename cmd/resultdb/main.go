@@ -16,7 +16,12 @@
 // cache), \wire [v1|v2|off] (show each result's encoded wire size at a
 // payload version), \save FILE and \open FILE (binary database snapshots),
 // \retry [off|ATTEMPTS [BACKOFF]] (remote retry policy, -connect only),
-// \q (quit).
+// \checkpoint and \wal (durability controls, -data-dir only), \q (quit).
+//
+// With -data-dir DIR the session is durable: every committed statement is
+// write-ahead logged under DIR and a later `resultdb -data-dir DIR` recovers
+// the exact committed state. -workload/-csv/-f then only seed the directory
+// on its first ever start.
 package main
 
 import (
@@ -30,7 +35,9 @@ import (
 
 	"resultdb/internal/csvio"
 	"resultdb/internal/db"
+	"resultdb/internal/durable"
 	"resultdb/internal/snapshot"
+	"resultdb/internal/wal"
 	"resultdb/internal/sqlparse"
 	"resultdb/internal/wire"
 	"resultdb/internal/workload/hierarchy"
@@ -47,6 +54,8 @@ func main() {
 		csvDir    = flag.String("csv", "", "load every *.csv in the directory as a table before starting")
 		traceExec = flag.Bool("trace", false, "emit a JSON execution trace after every SELECT")
 		connect   = flag.String("connect", "", "execute against a resultdbd server at host:port instead of the embedded database (RESULTDB_RETRIES / RESULTDB_RETRY_BACKOFF configure reconnect-and-retry; \\retry adjusts it live)")
+		dataDir   = flag.String("data-dir", "", "durable data directory: WAL + checkpoints (empty = in-memory only)")
+		fsyncMode = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | off")
 	)
 	flag.Parse()
 
@@ -84,37 +93,64 @@ func main() {
 		return
 	}
 
-	d := db.New()
-	if err := preload(d, *workload, *scale); err != nil {
-		fmt.Fprintln(os.Stderr, "resultdb:", err)
-		os.Exit(1)
+	seed := func(d *db.Database) error {
+		if err := preload(d, *workload, *scale); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := loadCSVDir(d, *csvDir); err != nil {
+				return err
+			}
+		}
+		if *file != "" {
+			script, err := os.ReadFile(*file)
+			if err != nil {
+				return err
+			}
+			if _, err := d.ExecScript(string(script)); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	if *csvDir != "" {
-		if err := loadCSVDir(d, *csvDir); err != nil {
-			fmt.Fprintln(os.Stderr, "resultdb:", err)
+
+	var d *db.Database
+	var mgr *durable.Manager
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resultdb: -fsync:", err)
 			os.Exit(1)
 		}
-	}
-	if *file != "" {
-		script, err := os.ReadFile(*file)
+		mgr, d, err = durable.Open(durable.Options{Dir: *dataDir, Fsync: policy}, seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "resultdb:", err)
 			os.Exit(1)
 		}
-		if _, err := d.ExecScript(string(script)); err != nil {
+		defer func() {
+			if err := mgr.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "resultdb: checkpoint:", err)
+			}
+			if err := mgr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "resultdb: close:", err)
+			}
+		}()
+	} else {
+		d = db.New()
+		if err := seed(d); err != nil {
 			fmt.Fprintln(os.Stderr, "resultdb:", err)
 			os.Exit(1)
 		}
 	}
+	s := &shell{db: d, mgr: mgr, out: os.Stdout, trace: *traceExec}
 	if *execSQL != "" {
-		s := &shell{db: d, out: os.Stdout, trace: *traceExec}
 		if err := s.execute(*execSQL); err != nil {
 			fmt.Fprintln(os.Stderr, "resultdb:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	(&shell{db: d, out: os.Stdout, trace: *traceExec}).repl(os.Stdin)
+	s.repl(os.Stdin)
 }
 
 // loadCSVDir loads every *.csv file in dir as a table named after the file.
@@ -159,6 +195,9 @@ func preload(d *db.Database, workload string, scale float64) error {
 
 type shell struct {
 	db *db.Database
+	// mgr, when set, makes the session durable (-data-dir) and enables the
+	// \checkpoint and \wal meta commands.
+	mgr *durable.Manager
 	// remote, when set, routes every statement to a resultdbd server over
 	// the wire protocol; db is nil and database-local meta commands are
 	// unavailable.
@@ -228,6 +267,28 @@ func (s *shell) meta(cmd string) bool {
 	case "\\trace":
 		s.trace = !s.trace
 		fmt.Fprintf(s.out, "trace %v\n", s.trace)
+	case "\\checkpoint":
+		if s.mgr == nil {
+			fmt.Fprintln(s.out, "\\checkpoint needs a durable session; start the shell with -data-dir")
+			return false
+		}
+		if err := s.mgr.Checkpoint(); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return false
+		}
+		st := s.mgr.Stats()
+		fmt.Fprintf(s.out, "checkpointed at lsn %d (%d checkpoints, %d bytes total, %d wal segments pruned)\n",
+			st.CheckpointLSN, st.Checkpoints, st.CheckpointBytes, st.Wal.Pruned)
+	case "\\wal":
+		if s.mgr == nil {
+			fmt.Fprintln(s.out, "\\wal needs a durable session; start the shell with -data-dir")
+			return false
+		}
+		st := s.mgr.Stats()
+		fmt.Fprintf(s.out, "wal: %d records (%d bytes) across %d segments, %d fsyncs for %d sync requests (%d group-shared), %d rotations, %d segments pruned\n",
+			st.Wal.Records, st.Wal.Bytes, st.Wal.Segments, st.Wal.Fsyncs, st.Wal.SyncRequests, st.Wal.GroupShared, st.Wal.Rotations, st.Wal.Pruned)
+		fmt.Fprintf(s.out, "recovery: opened at lsn %d (checkpoint lsn %d, %d replayed, %d skipped, torn tail dropped: %v)\n",
+			st.RecoveredLSN, st.CheckpointLSN, st.Replayed, st.ReplaySkipped, st.TornTail)
 	case "\\cache":
 		if len(fields) == 2 {
 			switch fields[1] {
@@ -295,6 +356,10 @@ func (s *shell) meta(cmd string) bool {
 			fmt.Fprintln(s.out, "saved", fields[1])
 		}
 	case "\\open":
+		if s.mgr != nil {
+			fmt.Fprintln(s.out, "\\open would detach the session from its -data-dir WAL; start a plain shell to browse snapshots")
+			return false
+		}
 		if len(fields) != 2 {
 			fmt.Fprintln(s.out, "usage: \\open FILE")
 			return false
@@ -322,7 +387,7 @@ func (s *shell) meta(cmd string) bool {
 			fmt.Fprintf(s.out, "%-24s %8d rows\n", name, t.Len())
 		}
 	default:
-		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\trace, \\strategy, \\cache, \\retry, \\q")
+		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\trace, \\strategy, \\cache, \\retry, \\checkpoint, \\wal, \\q")
 	}
 	return false
 }

@@ -7,6 +7,13 @@
 //
 //	resultdbd -addr :7483 -workload job -scale 0.25
 //	resultdbd -cache -cache-budget 256MB -max-conns 64 -read-timeout 5m
+//
+// With -data-dir the server is durable: committed DML/DDL is write-ahead
+// logged, checkpoints bound recovery time, and a restart on the same
+// directory recovers the exact committed state (the -workload flag then only
+// seeds the directory on its first ever start):
+//
+//	resultdbd -data-dir /var/lib/resultdb -fsync always -wal-segment 4MiB -checkpoint-every 1024
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"time"
 
 	"resultdb/internal/db"
+	"resultdb/internal/durable"
+	"resultdb/internal/wal"
 	"resultdb/internal/wire"
 	"resultdb/internal/workload/hierarchy"
 	"resultdb/internal/workload/job"
@@ -36,10 +45,61 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 		wireVersion  = flag.String("wire-version", "v2", "highest wire payload version to negotiate: v1 | v2")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: in-flight queries get this long to finish before their connections are force-closed (0 = wait indefinitely)")
+		dataDir      = flag.String("data-dir", "", "durable data directory: WAL + checkpoints (empty = in-memory only)")
+		fsyncPolicy  = flag.String("fsync", "always", "WAL fsync policy: always | interval | off")
+		walSegment   = flag.String("wal-segment", "4MiB", "WAL segment rotation budget (e.g. 1MB, 16MiB)")
+		ckptEvery    = flag.Int64("checkpoint-every", 1024, "checkpoint after this many committed batches (0 = only on drain)")
 	)
 	flag.Parse()
 
-	d := db.New()
+	bootstrap := func(d *db.Database) error {
+		switch *workload {
+		case "job":
+			return job.Load(d, job.Config{Scale: *scale, Seed: 42})
+		case "star":
+			return star.Load(d, star.DefaultConfig())
+		case "hierarchy":
+			return hierarchy.Load(d, hierarchy.DefaultConfig())
+		case "none", "":
+			return nil
+		default:
+			return fmt.Errorf("unknown workload %q", *workload)
+		}
+	}
+
+	var d *db.Database
+	var mgr *durable.Manager
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resultdbd: -fsync:", err)
+			os.Exit(1)
+		}
+		segBytes, err := db.ParseByteSize(*walSegment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resultdbd: -wal-segment:", err)
+			os.Exit(1)
+		}
+		mgr, d, err = durable.Open(durable.Options{
+			Dir:             *dataDir,
+			Fsync:           policy,
+			SegmentBytes:    segBytes,
+			CheckpointEvery: *ckptEvery,
+		}, bootstrap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resultdbd:", err)
+			os.Exit(1)
+		}
+		st := mgr.Stats()
+		fmt.Printf("recovered %s to lsn %d (checkpoint lsn %d, %d wal records replayed, torn tail dropped: %v)\n",
+			*dataDir, st.RecoveredLSN, st.CheckpointLSN, st.Replayed, st.TornTail)
+	} else {
+		d = db.New()
+		if err := bootstrap(d); err != nil {
+			fmt.Fprintln(os.Stderr, "resultdbd:", err)
+			os.Exit(1)
+		}
+	}
 	if *cacheOn {
 		budget, perr := db.ParseByteSize(*cacheBudget)
 		if perr != nil {
@@ -47,22 +107,6 @@ func main() {
 			os.Exit(1)
 		}
 		d.EnableCache(budget)
-	}
-	var err error
-	switch *workload {
-	case "job":
-		err = job.Load(d, job.Config{Scale: *scale, Seed: 42})
-	case "star":
-		err = star.Load(d, star.DefaultConfig())
-	case "hierarchy":
-		err = hierarchy.Load(d, hierarchy.DefaultConfig())
-	case "none", "":
-	default:
-		err = fmt.Errorf("unknown workload %q", *workload)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "resultdbd:", err)
-		os.Exit(1)
 	}
 
 	srv := wire.NewServer(d)
@@ -93,6 +137,19 @@ func main() {
 	<-sig
 	fmt.Printf("shutting down (draining %d active connections, timeout %v)\n", srv.ActiveConns(), *drainTimeout)
 	srv.Shutdown(*drainTimeout)
+	if mgr != nil {
+		// Checkpoint on drain so the next start replays an empty (or tiny)
+		// WAL, then release the log cleanly.
+		if err := mgr.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "resultdbd: checkpoint on drain:", err)
+		}
+		if err := mgr.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "resultdbd: close:", err)
+		}
+		for _, line := range mgr.Stats().Trace().CompactLines() {
+			fmt.Println(line)
+		}
+	}
 	for _, line := range srv.Stats().Trace().CompactLines() {
 		fmt.Println(line)
 	}

@@ -65,12 +65,46 @@ type Database struct {
 	// off) but consulted only when CoreOptions.ResultCache is set.
 	resultCache *cache.Cache[*Result]
 
+	// commitLog, when set, records every successful mutation statement
+	// before it is acknowledged (see CommitLog). Nil when durability is
+	// off — the write path then pays one nil check and nothing else, and
+	// SELECT-only traffic never touches it at all.
+	commitLog CommitLog
+
 	// Strategy and CoreOptions configure RESULTDB execution.
 	Strategy    Strategy
 	CoreOptions core.Options
 	// DPJoinOrder enables the DPsize join-order optimizer for single-table
 	// plans (the greedy live-cardinality order is the default).
 	DPJoinOrder bool
+}
+
+// CommitLog is the durability hook on the write path (implemented by
+// internal/durable). Append is called with the database write lock held and
+// only after the statements applied successfully, so append order is exactly
+// apply order. It returns a wait function making the batch durable; the
+// database invokes it after releasing the lock, so concurrent committers'
+// fsync waits overlap (group commit) instead of serializing behind the lock.
+// A nil wait means the batch is already durable.
+type CommitLog interface {
+	Append(stmts []string) (wait func() error, err error)
+}
+
+// SetCommitLog installs (or, with nil, removes) the durability hook. Call
+// before serving traffic; it is not synchronized against in-flight writes.
+func (d *Database) SetCommitLog(l CommitLog) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.commitLog = l
+}
+
+// View runs fn under the database read lock: a stable snapshot against
+// concurrent DML, used by the checkpointer to pair a consistent dump with
+// the WAL position it covers.
+func (d *Database) View(fn func() error) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return fn()
 }
 
 // New returns an empty database with the paper-default RESULTDB options. The
@@ -277,16 +311,9 @@ func (d *Database) ExecStatement(st sqlparse.Statement) (res *Result, err error)
 	switch s := st.(type) {
 	case *sqlparse.Select:
 		return d.Query(s)
-	case *sqlparse.CreateTable:
-		return d.execCreateTable(s)
-	case *sqlparse.DropTable:
-		return d.execDrop(s.Name, s.IfExists, false)
-	case *sqlparse.CreateMaterializedView:
-		return d.execCreateMatView(s)
-	case *sqlparse.DropMaterializedView:
-		return d.execDrop(s.Name, s.IfExists, true)
-	case *sqlparse.Insert:
-		return d.execInsert(s)
+	case *sqlparse.CreateTable, *sqlparse.DropTable, *sqlparse.CreateMaterializedView,
+		*sqlparse.DropMaterializedView, *sqlparse.Insert:
+		return d.execMutation(st)
 	case *sqlparse.Explain:
 		return d.execExplain(s)
 	case *sqlparse.Begin, *sqlparse.Commit, *sqlparse.Rollback:
@@ -296,7 +323,58 @@ func (d *Database) ExecStatement(st sqlparse.Statement) (res *Result, err error)
 	}
 }
 
-func (d *Database) execCreateTable(s *sqlparse.CreateTable) (*Result, error) {
+// execMutation applies one DML/DDL statement and, when a commit log is
+// installed, records it and waits for durability before acknowledging. The
+// apply and the log append happen under one write-lock hold — log order is
+// apply order — while the durability wait runs after unlock so concurrent
+// commits share fsyncs.
+func (d *Database) execMutation(st sqlparse.Statement) (*Result, error) {
+	res, wait, err := d.applyAndLog(st)
+	if err != nil {
+		return nil, err
+	}
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			// Not durable ⇒ not acknowledged. In-memory state is ahead of
+			// the log at this point; the owner should stop serving (a real
+			// disk death is fatal anyway), and recovery will simply not
+			// include this unacknowledged batch.
+			return nil, fmt.Errorf("db: commit not durable: %w", werr)
+		}
+	}
+	return res, nil
+}
+
+func (d *Database) applyAndLog(st sqlparse.Statement) (*Result, func() error, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var res *Result
+	var err error
+	switch s := st.(type) {
+	case *sqlparse.CreateTable:
+		res, err = d.execCreateTableLocked(s)
+	case *sqlparse.DropTable:
+		res, err = d.execDropLocked(s.Name, s.IfExists, false)
+	case *sqlparse.CreateMaterializedView:
+		res, err = d.execCreateMatViewLocked(s)
+	case *sqlparse.DropMaterializedView:
+		res, err = d.execDropLocked(s.Name, s.IfExists, true)
+	case *sqlparse.Insert:
+		res, err = d.execInsertLocked(s)
+	default:
+		err = fmt.Errorf("db: unsupported mutation %T", st)
+	}
+	if err != nil || d.commitLog == nil {
+		return res, nil, err
+	}
+	wait, lerr := d.commitLog.Append([]string{st.SQL()})
+	if lerr != nil {
+		return nil, nil, fmt.Errorf("db: commit log append: %w", lerr)
+	}
+	return res, wait, nil
+}
+
+func (d *Database) execCreateTableLocked(s *sqlparse.CreateTable) (*Result, error) {
 	cols := make([]catalog.Column, len(s.Columns))
 	for i, c := range s.Columns {
 		cols[i] = catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
@@ -311,15 +389,13 @@ func (d *Database) execCreateTable(s *sqlparse.CreateTable) (*Result, error) {
 			Columns: fk.Columns, RefTable: fk.RefTable, RefColumns: fk.RefColumns,
 		})
 	}
-	if _, err := d.CreateTable(def); err != nil {
+	if _, err := d.createTableLocked(def); err != nil {
 		return nil, err
 	}
 	return &Result{}, nil
 }
 
-func (d *Database) execDrop(name string, ifExists, mustBeView bool) (*Result, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+func (d *Database) execDropLocked(name string, ifExists, mustBeView bool) (*Result, error) {
 	def, err := d.cat.Lookup(name)
 	if err != nil {
 		if ifExists {
@@ -341,9 +417,7 @@ func (d *Database) execDrop(name string, ifExists, mustBeView bool) (*Result, er
 	return &Result{}, nil
 }
 
-func (d *Database) execInsert(s *sqlparse.Insert) (*Result, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+func (d *Database) execInsertLocked(s *sqlparse.Insert) (*Result, error) {
 	t, err := d.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -412,9 +486,7 @@ func evalConst(e sqlparse.Expr) (types.Value, error) {
 	return types.Value{}, fmt.Errorf("db: INSERT values must be literals, got %q", e.SQL())
 }
 
-func (d *Database) execCreateMatView(s *sqlparse.CreateMaterializedView) (*Result, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+func (d *Database) execCreateMatViewLocked(s *sqlparse.CreateMaterializedView) (*Result, error) {
 	if s.Query.ResultDB {
 		return d.createResultDBView(s)
 	}

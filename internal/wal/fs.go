@@ -1,0 +1,394 @@
+// fs.go defines the filesystem seam the durability subsystem writes through.
+//
+// Everything the WAL and the checkpointer do to disk goes through the FS
+// interface: appending to segments, renaming a finished checkpoint into
+// place, listing the data directory at recovery time. That indirection is
+// what makes crash recovery a deterministic, exhaustively testable property
+// instead of a production anecdote — the crash gate swaps the real directory
+// for an in-memory one wrapped in a FaultFS that kills the "disk" at a
+// scheduled byte offset, in the same spirit as internal/faultnet killing
+// connections at scheduled offsets.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrCrashed marks every operation attempted on a FaultFS after its
+// scheduled crash fired, so tests can tell injected deaths from real bugs
+// with errors.Is.
+var ErrCrashed = errors.New("wal: injected filesystem crash")
+
+// File is an open, append-only file handle.
+type File interface {
+	// Write appends bytes at the end of the file.
+	Write(p []byte) (int, error)
+	// Sync forces written bytes to stable storage (fsync).
+	Sync() error
+	// Close releases the handle. Close does not imply Sync.
+	Close() error
+}
+
+// FS is a flat directory of files — the durability subsystem's entire view
+// of the outside world. Implementations must allow re-opening a file that is
+// already open (recovery scans never run concurrently with appends).
+type FS interface {
+	// OpenAppend opens name for appending, creating it empty if missing.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the full contents of name. Segment files are bounded
+	// by the rotation budget and checkpoints are loaded whole anyway, so a
+	// whole-file read keeps every consumer simple.
+	ReadFile(name string) ([]byte, error)
+	// List returns the names of all files in the directory, sorted.
+	List() ([]string, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Truncate cuts name down to size bytes (dropping a torn tail).
+	Truncate(name string, size int64) error
+	// SyncDir forces directory metadata (renames, removals) to stable
+	// storage, the step that makes a rename-into-place checkpoint atomic
+	// across a power cut.
+	SyncDir() error
+}
+
+// DirFS is the production FS: a real directory on the local filesystem.
+type DirFS struct {
+	dir string
+}
+
+// NewDirFS returns a DirFS rooted at dir, creating the directory if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirFS{dir: dir}, nil
+}
+
+// Dir returns the root directory path.
+func (d *DirFS) Dir() string { return d.dir }
+
+func (d *DirFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (d *DirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.dir, name))
+}
+
+func (d *DirFS) List() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (d *DirFS) Remove(name string) error {
+	return os.Remove(filepath.Join(d.dir, name))
+}
+
+func (d *DirFS) Rename(oldname, newname string) error {
+	return os.Rename(filepath.Join(d.dir, oldname), filepath.Join(d.dir, newname))
+}
+
+func (d *DirFS) Truncate(name string, size int64) error {
+	return os.Truncate(filepath.Join(d.dir, name), size)
+}
+
+func (d *DirFS) SyncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// MemFS is an in-memory FS for tests and fuzzing. Its write model matches a
+// process kill (the crash model the recovery gate verifies): every completed
+// Write survives — as it would in the OS page cache — and fsync is a no-op,
+// so a FaultFS-scheduled crash loses exactly the torn suffix of the write in
+// flight and nothing else, deterministically.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte)}
+}
+
+// Clone returns a deep copy — the "disk image" a crash test reboots from,
+// without re-running the bootstrap that produced it.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for name, data := range m.files {
+		c.files[name] = append([]byte(nil), data...)
+	}
+	return c
+}
+
+// memFile appends through to its MemFS so the bytes are visible (and
+// "persisted" under the process-kill model) as soon as Write returns.
+type memFile struct {
+	fs   *MemFS
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if _, ok := f.fs.files[f.name]; !ok {
+		return 0, fmt.Errorf("wal: write to removed file %q", f.name)
+	}
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = []byte{}
+	}
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	m.files[newname] = data
+	delete(m.files, oldname)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(data)) {
+		return fmt.Errorf("wal: truncate %q to %d (size %d)", name, size, len(data))
+	}
+	m.files[name] = data[:size]
+	return nil
+}
+
+// WriteFile installs raw bytes as a file — the fuzzing and corruption-test
+// entry point for planting arbitrary segment or checkpoint images.
+func (m *MemFS) WriteFile(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = append([]byte(nil), data...)
+}
+
+func (m *MemFS) SyncDir() error { return nil }
+
+// FaultFS wraps an FS with a deterministic crash: after Arm(n), the n-th
+// byte written through it is the last one that reaches the inner FS — the
+// write in flight is delivered as a torn prefix, and every later operation
+// fails with ErrCrashed. Recovery then reads the *inner* FS directly, which
+// plays the role of the disk after reboot.
+//
+// Only Write bytes count toward the budget; metadata operations (rename,
+// remove, truncate) are atomic in this model — they either happened before
+// the crash or fail with it.
+type FaultFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	armed     bool
+	remaining int64
+	crashed   bool
+}
+
+// NewFaultFS wraps inner; until Arm is called every operation passes through.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner}
+}
+
+// Arm schedules the crash after n more written bytes (n = 0 kills the next
+// write outright).
+func (f *FaultFS) Arm(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = true
+	f.remaining = n
+}
+
+// Crashed reports whether the scheduled crash has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// check returns ErrCrashed once the crash fired.
+func (f *FaultFS) check() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if !f.armed {
+		f.mu.Unlock()
+		return ff.inner.Write(p)
+	}
+	if f.remaining >= int64(len(p)) {
+		f.remaining -= int64(len(p))
+		f.mu.Unlock()
+		return ff.inner.Write(p)
+	}
+	// The crossing write: deliver the torn prefix, then die.
+	keep := f.remaining
+	f.crashed = true
+	f.remaining = 0
+	f.mu.Unlock()
+	if keep > 0 {
+		ff.inner.Write(p[:keep])
+	}
+	return int(keep), fmt.Errorf("%w: write torn after %d of %d bytes", ErrCrashed, keep, len(p))
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.check(); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	if err := ff.fs.check(); err != nil {
+		return err
+	}
+	return ff.inner.Close()
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) List() ([]string, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.inner.List()
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir() error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir()
+}

@@ -1,0 +1,144 @@
+// record.go frames WAL records and encodes their statement payloads.
+//
+// One record = one committed DML/DDL batch. The frame is fixed-header,
+// length-prefixed and CRC-guarded:
+//
+//	| payload len n (4B LE) | LSN (8B LE) | payload (n bytes) | CRC32 (4B LE) |
+//
+// The CRC (IEEE) covers the 12 header bytes plus the payload, so a torn or
+// bit-flipped record can never frame-sync into garbage statements. LSNs are
+// dense (each record's LSN is its predecessor's plus one), which lets replay
+// distinguish a cleanly truncated tail from a hole in the middle of the log.
+//
+// The payload is the batch's statement texts in the repo's wire primitives:
+// a uvarint statement count followed by length-prefixed strings.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"resultdb/internal/wire"
+)
+
+const (
+	// recordHeaderLen is the fixed prefix before the payload: 4-byte length
+	// plus 8-byte LSN.
+	recordHeaderLen = 12
+	// recordTrailerLen is the CRC32 suffix.
+	recordTrailerLen = 4
+	// recordOverhead is the per-record framing cost.
+	recordOverhead = recordHeaderLen + recordTrailerLen
+
+	// MaxRecordPayload bounds one record (one Exec batch). Far above any
+	// legitimate statement batch; the limit exists so a corrupt length field
+	// is rejected as corruption instead of framing a gigabyte "record".
+	MaxRecordPayload = 64 << 20
+)
+
+// appendRecord appends the framed record to buf and returns it.
+func appendRecord(buf []byte, lsn uint64, payload []byte) []byte {
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], lsn)
+	sum := crc32.ChecksumIEEE(hdr[:])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// recordSize returns the on-disk size of a record with the given payload.
+func recordSize(payload []byte) int64 {
+	return int64(len(payload) + recordOverhead)
+}
+
+// parseRecord reads the record at data[off:]. Outcomes:
+//
+//   - ok: lsn, payload (a subslice of data — copy before retaining), and the
+//     offset of the next record.
+//   - torn (err == nil, ok == false): the bytes from off to the end of data
+//     do not contain one whole well-formed record — the shape a crashed
+//     append leaves behind. Callers decide whether "torn" is tolerable
+//     (final segment) or corruption (anything else).
+func parseRecord(data []byte, off int64) (lsn uint64, payload []byte, next int64, ok bool) {
+	rest := data[off:]
+	if len(rest) < recordHeaderLen+recordTrailerLen {
+		return 0, nil, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+	if n > MaxRecordPayload || recordHeaderLen+n+recordTrailerLen > int64(len(rest)) {
+		return 0, nil, 0, false
+	}
+	lsn = binary.LittleEndian.Uint64(rest[4:12])
+	payload = rest[recordHeaderLen : recordHeaderLen+n]
+	sum := crc32.ChecksumIEEE(rest[:recordHeaderLen])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	if binary.LittleEndian.Uint32(rest[recordHeaderLen+n:recordHeaderLen+n+recordTrailerLen]) != sum {
+		return 0, nil, 0, false
+	}
+	return lsn, payload, off + recordHeaderLen + n + recordTrailerLen, true
+}
+
+// classifyInvalid decides what the invalid bytes at data[off:] in a final
+// segment are. nil means a torn tail — the record is truncated, or its CRC
+// fails with nothing after it — which a crashed append legitimately leaves
+// and recovery may drop. Anything else is mid-log corruption (an insane
+// length field, or a bad record with more bytes after it: dropping it would
+// silently lose the acknowledged records behind it) and wraps ErrCorrupt.
+//
+// The discrimination is sound under the append model: a record is written in
+// one Write call and a crash tears it to a prefix, so a torn record either
+// lacks a whole header or carries a correct length that reaches (or
+// overshoots) end-of-file.
+func classifyInvalid(data []byte, off int64) error {
+	rest := data[off:]
+	if int64(len(rest)) < recordOverhead {
+		return nil
+	}
+	n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+	if n > MaxRecordPayload {
+		return fmt.Errorf("%w: record length %d exceeds maximum at offset %d", ErrCorrupt, n, off)
+	}
+	if end := recordHeaderLen + n + recordTrailerLen; end < int64(len(rest)) {
+		return fmt.Errorf("%w: record with bad checksum at offset %d has %d trailing bytes", ErrCorrupt, off, int64(len(rest))-end)
+	}
+	return nil
+}
+
+// EncodeStatements packs a batch's statement texts into a record payload.
+func EncodeStatements(stmts []string) []byte {
+	e := wire.NewEncoder()
+	e.Uvarint(uint64(len(stmts)))
+	for _, s := range stmts {
+		e.Str(s)
+	}
+	return e.Bytes()
+}
+
+// DecodeStatements unpacks a record payload produced by EncodeStatements.
+// Allocation-bounded against hostile counts: a statement costs at least one
+// byte on the wire, so the count can never exceed the payload length.
+func DecodeStatements(payload []byte) ([]string, error) {
+	d := wire.NewDecoder(payload)
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("wal: statement count: %w", err)
+	}
+	if n > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("wal: statement count %d exceeds payload (%d bytes left)", n, d.Remaining())
+	}
+	stmts := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := d.Str()
+		if err != nil {
+			return nil, fmt.Errorf("wal: statement %d: %w", i, err)
+		}
+		stmts = append(stmts, s)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("wal: %d trailing payload bytes", d.Remaining())
+	}
+	return stmts, nil
+}

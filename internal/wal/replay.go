@@ -1,0 +1,89 @@
+// replay.go reconstructs committed state from the log at recovery time.
+package wal
+
+import "fmt"
+
+// ReplayStats describes what one Replay pass saw.
+type ReplayStats struct {
+	// Segments is the number of segment files scanned.
+	Segments int64
+	// Records is the number of records passed to the apply callback
+	// (records at or below the checkpoint LSN are validated but skipped).
+	Records int64
+	// Skipped is the number of valid records already covered by the
+	// checkpoint the caller replayed from.
+	Skipped int64
+	// LastLSN is the LSN of the last valid record in the log, or the
+	// starting LSN when the log holds no records.
+	LastLSN uint64
+	// TornTail reports that the final segment ended in a truncated or
+	// corrupt record, which Replay dropped — the shape a crashed append
+	// leaves and exactly what recovery is licensed to discard.
+	TornTail bool
+}
+
+// Replay walks every segment in fs in LSN order and invokes apply for each
+// valid record with LSN > after, stopping at a torn tail of the final
+// segment. Any other damage — a bad record with valid data after it, a bad
+// record in a non-final segment, an LSN hole, a segment whose first record
+// does not match its name — returns an error wrapping ErrCorrupt: the log
+// cannot be trusted past that point and silently dropping acknowledged
+// batches is worse than refusing to start.
+//
+// An error from apply aborts the replay and is returned as-is.
+func Replay(fsys FS, after uint64, apply func(lsn uint64, payload []byte) error) (ReplayStats, error) {
+	stats := ReplayStats{LastLSN: after}
+	segs, err := listSegments(fsys)
+	if err != nil {
+		return stats, err
+	}
+	if len(segs) == 0 {
+		return stats, nil
+	}
+	if first := segs[0].first; first > after+1 {
+		return stats, fmt.Errorf("%w: oldest segment %s starts at lsn %d but checkpoint covers only %d", ErrCorrupt, segs[0].name, first, after)
+	}
+	expect := segs[0].first
+	for i, seg := range segs {
+		if seg.first != expect {
+			return stats, fmt.Errorf("%w: segment %s starts at lsn %d, want %d", ErrCorrupt, seg.name, seg.first, expect)
+		}
+		data, err := fsys.ReadFile(seg.name)
+		if err != nil {
+			return stats, err
+		}
+		stats.Segments++
+		final := i == len(segs)-1
+		off := int64(0)
+		for off < int64(len(data)) {
+			lsn, payload, next, ok := parseRecord(data, off)
+			if !ok {
+				if !final {
+					return stats, fmt.Errorf("%w: bad record in %s at offset %d", ErrCorrupt, seg.name, off)
+				}
+				if cerr := classifyInvalid(data, off); cerr != nil {
+					return stats, fmt.Errorf("wal: segment %s: %w", seg.name, cerr)
+				}
+				// The one legitimate shape of damage: a record the crash
+				// tore, extending to the end of the log.
+				stats.TornTail = true
+				return stats, nil
+			}
+			if lsn != expect {
+				return stats, fmt.Errorf("%w: record in %s at offset %d has lsn %d, want %d", ErrCorrupt, seg.name, off, lsn, expect)
+			}
+			if lsn > after {
+				if err := apply(lsn, payload); err != nil {
+					return stats, err
+				}
+				stats.Records++
+			} else {
+				stats.Skipped++
+			}
+			stats.LastLSN = lsn
+			expect = lsn + 1
+			off = next
+		}
+	}
+	return stats, nil
+}

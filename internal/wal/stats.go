@@ -1,0 +1,56 @@
+// stats.go exposes the log's counters through the repo's one observability
+// surface: a trace of "counter" spans, same as wire.ServerStats.
+package wal
+
+import "resultdb/internal/trace"
+
+// Stats is a snapshot of a Log's counters.
+type Stats struct {
+	// Records is the number of records appended this process.
+	Records int64 `json:"records"`
+	// Bytes is the framed bytes appended this process.
+	Bytes int64 `json:"bytes"`
+	// Fsyncs counts fsync calls on segment files.
+	Fsyncs int64 `json:"fsyncs"`
+	// SyncRequests counts Sync calls under SyncAlways — one per
+	// acknowledged commit.
+	SyncRequests int64 `json:"sync_requests"`
+	// GroupShared counts Sync calls satisfied by another committer's fsync;
+	// SyncRequests/(SyncRequests-GroupShared) is the mean group-commit
+	// batch size.
+	GroupShared int64 `json:"group_shared"`
+	// Rotations counts segment rollovers.
+	Rotations int64 `json:"rotations"`
+	// Pruned counts segments removed by checkpoints.
+	Pruned int64 `json:"pruned"`
+	// Segments is the number of live segment files.
+	Segments int64 `json:"segments"`
+}
+
+// Trace renders the counters as "counter" spans under Mode "wal-stats" so
+// durability state reuses the EXPLAIN ANALYZE rendering path.
+func (s Stats) Trace() *trace.Trace {
+	counters := []struct {
+		name  string
+		value int64
+	}{
+		{"wal_records", s.Records},
+		{"wal_bytes", s.Bytes},
+		{"wal_fsyncs", s.Fsyncs},
+		{"wal_sync_requests", s.SyncRequests},
+		{"wal_group_shared", s.GroupShared},
+		{"wal_rotations", s.Rotations},
+		{"wal_pruned_segments", s.Pruned},
+		{"wal_segments", s.Segments},
+	}
+	tr := &trace.Trace{Mode: "wal-stats"}
+	for _, c := range counters {
+		tr.Spans = append(tr.Spans, trace.Span{
+			Op:      "counter",
+			Label:   c.name,
+			Phase:   "wal",
+			RowsOut: int(c.value),
+		})
+	}
+	return tr
+}

@@ -1,0 +1,559 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// appendAll appends payloads and syncs the last one, failing the test on any
+// error.
+func appendAll(t *testing.T, l *Log, payloads ...string) []uint64 {
+	t.Helper()
+	var lsns []uint64
+	for _, p := range payloads {
+		lsn, err := l.Append([]byte(p))
+		if err != nil {
+			t.Fatalf("Append(%q): %v", p, err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if len(lsns) > 0 {
+		if err := l.Sync(lsns[len(lsns)-1]); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+	}
+	return lsns
+}
+
+// replayAll collects every replayed payload keyed by LSN.
+func replayAll(t *testing.T, fs FS, after uint64) (map[uint64]string, ReplayStats) {
+	t.Helper()
+	got := map[uint64]string{}
+	stats, err := Replay(fs, after, func(lsn uint64, payload []byte) error {
+		got[lsn] = string(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsns := appendAll(t, l, "one", "two", "three")
+	if want := []uint64{1, 2, 3}; fmt.Sprint(lsns) != fmt.Sprint(want) {
+		t.Fatalf("lsns = %v, want %v", lsns, want)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := replayAll(t, fs, 0)
+	if len(got) != 3 || got[1] != "one" || got[2] != "two" || got[3] != "three" {
+		t.Fatalf("replayed %v", got)
+	}
+	if stats.TornTail || stats.LastLSN != 3 || stats.Records != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestReplaySkipsCheckpointed(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b", "c", "d")
+	l.Close()
+	got, stats := replayAll(t, fs, 2)
+	if len(got) != 2 || got[3] != "c" || got[4] != "d" {
+		t.Fatalf("replayed %v", got)
+	}
+	if stats.Skipped != 2 || stats.Records != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	fs := NewMemFS()
+	// Budget fits roughly one record, forcing a rotation per append.
+	l, err := Open(Options{FS: fs, SegmentBytes: 24}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "aaaa", "bbbb", "cccc", "dddd")
+	if s := l.Stats(); s.Rotations != 3 || s.Segments != 4 {
+		t.Fatalf("stats = %+v, want 3 rotations over 4 segments", s)
+	}
+	l.Close()
+	names, _ := fs.List()
+	if len(names) != 4 {
+		t.Fatalf("files = %v", names)
+	}
+	got, _ := replayAll(t, fs, 0)
+	if len(got) != 4 || got[4] != "dddd" {
+		t.Fatalf("replayed %v", got)
+	}
+}
+
+func TestReopenContinuesLSN(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs, SegmentBytes: 48}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b")
+	l.Close()
+	l, err = Open(Options{FS: fs, SegmentBytes: 48}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastLSN(); got != 2 {
+		t.Fatalf("LastLSN after reopen = %d, want 2", got)
+	}
+	lsns := appendAll(t, l, "c")
+	if lsns[0] != 3 {
+		t.Fatalf("lsn after reopen = %d, want 3", lsns[0])
+	}
+	l.Close()
+	got, _ := replayAll(t, fs, 0)
+	if len(got) != 3 || got[3] != "c" {
+		t.Fatalf("replayed %v", got)
+	}
+}
+
+func TestOpenAtCheckpointBase(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs}, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsns := appendAll(t, l, "x")
+	if lsns[0] != 42 {
+		t.Fatalf("first lsn = %d, want 42", lsns[0])
+	}
+	l.Close()
+	got, _ := replayAll(t, fs, 41)
+	if got[42] != "x" {
+		t.Fatalf("replayed %v", got)
+	}
+}
+
+func TestTornTailDropped(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "keep-one", "keep-two", "torn-away")
+	l.Close()
+	name := segName(1)
+	data, _ := fs.ReadFile(name)
+	// Tear the final record at every possible width, including losing it
+	// entirely; the first two records must always survive.
+	full := int64(len(data))
+	tail := recordSize([]byte("torn-away"))
+	for cut := full - tail; cut < full; cut++ {
+		fs2 := NewMemFS()
+		fs2.WriteFile(name, data[:cut])
+		got, stats := replayAll(t, fs2, 0)
+		if len(got) != 2 || got[1] != "keep-one" || got[2] != "keep-two" {
+			t.Fatalf("cut %d: replayed %v", cut, got)
+		}
+		if wantTorn := cut > full-tail; stats.TornTail != wantTorn {
+			t.Fatalf("cut %d: TornTail = %v, want %v", cut, stats.TornTail, wantTorn)
+		}
+		// Reopen for append: the torn tail is physically truncated and the
+		// next record lands at LSN 3.
+		l2, err := Open(Options{FS: fs2}, 0)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if lsns := appendAll(t, l2, "after-crash"); lsns[0] != 3 {
+			t.Fatalf("cut %d: lsn = %d, want 3", cut, lsns[0])
+		}
+		l2.Close()
+		got, stats = replayAll(t, fs2, 0)
+		if len(got) != 3 || got[3] != "after-crash" || stats.TornTail {
+			t.Fatalf("cut %d: post-recovery replay %v (stats %+v)", cut, got, stats)
+		}
+	}
+}
+
+func TestMidLogCorruptionTyped(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "first", "second", "third")
+	l.Close()
+	name := segName(1)
+	clean, _ := fs.ReadFile(name)
+	// Flip one byte inside the first record: a bad record with valid bytes
+	// after it must be corruption, never a droppable tail. (An *inflating*
+	// flip of the length field that overshoots end-of-file is the one
+	// undetectable case — it is byte-identical to a torn first record.)
+	for _, c := range []struct {
+		off  int
+		mask byte
+	}{
+		{0, 0x04},                   // length 5 → 1: extent shrinks, bytes follow
+		{5, 0x40},                   // LSN field: CRC fails, extent unchanged
+		{recordHeaderLen + 2, 0x40}, // payload: CRC fails, extent unchanged
+	} {
+		off := c.off
+		data := append([]byte(nil), clean...)
+		data[off] ^= c.mask
+		fs2 := NewMemFS()
+		fs2.WriteFile(name, data)
+		_, err := Replay(fs2, 0, func(uint64, []byte) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", off, err)
+		}
+		if _, err := Open(Options{FS: fs2}, 0); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: Open err = %v, want ErrCorrupt", off, err)
+		}
+	}
+	// A flip in the final record with nothing after it is a droppable tail.
+	data := append([]byte(nil), clean...)
+	data[len(data)-1] ^= 0x40
+	fs2 := NewMemFS()
+	fs2.WriteFile(name, data)
+	got, stats := replayAll(t, fs2, 0)
+	if len(got) != 2 || !stats.TornTail {
+		t.Fatalf("final-record flip: replayed %v (stats %+v)", got, stats)
+	}
+}
+
+func TestCorruptionInNonFinalSegment(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs, SegmentBytes: 24}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "aaaa", "bbbb", "cccc")
+	l.Close()
+	name := segName(2)
+	data, _ := fs.ReadFile(name)
+	// Truncation that would read as a torn tail in a final segment is
+	// corruption in a middle one.
+	fs.WriteFile(name, data[:len(data)-1])
+	_, err = Replay(fs, 0, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestMissingSegmentIsTyped(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs, SegmentBytes: 24}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "aaaa", "bbbb", "cccc")
+	l.Close()
+	if err := fs.Remove(segName(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(fs, 0, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReplayGapAfterCheckpoint(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "x")
+	l.Close()
+	// A checkpoint at LSN 5 cannot be completed by a log starting at 11.
+	_, err = Replay(fs, 5, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs, SegmentBytes: 24}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "aaaa", "bbbb", "cccc", "dddd")
+	// Checkpoint at LSN 3 covers segments 1..3 fully; segment 4 is live.
+	if err := l.Prune(3); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List()
+	if len(names) != 1 || names[0] != segName(4) {
+		t.Fatalf("files after prune = %v", names)
+	}
+	if s := l.Stats(); s.Pruned != 3 {
+		t.Fatalf("Pruned = %d, want 3", s.Pruned)
+	}
+	got, _ := replayAll(t, fs, 3)
+	if len(got) != 1 || got[4] != "dddd" {
+		t.Fatalf("replayed %v", got)
+	}
+	// Appends continue normally on the pruned log.
+	appendAll(t, l, "eeee")
+	l.Close()
+	got, _ = replayAll(t, fs, 3)
+	if len(got) != 2 || got[5] != "eeee" {
+		t.Fatalf("replayed %v", got)
+	}
+}
+
+func TestPruneNeverRemovesLiveSegment(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b")
+	if err := l.Prune(2); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := fs.List(); len(names) != 1 {
+		t.Fatalf("live segment pruned: %v", names)
+	}
+	l.Close()
+}
+
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				lsn, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err == nil {
+					err = l.Sync(lsn)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.Records != writers*each {
+		t.Fatalf("Records = %d, want %d", s.Records, writers*each)
+	}
+	if s.SyncRequests != writers*each {
+		t.Fatalf("SyncRequests = %d, want %d", s.SyncRequests, writers*each)
+	}
+	if l.SyncedLSN() != uint64(writers*each) {
+		t.Fatalf("SyncedLSN = %d, want %d", l.SyncedLSN(), writers*each)
+	}
+	l.Close()
+	got, _ := replayAll(t, fs, 0)
+	if len(got) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
+	}
+	// LSNs are dense regardless of interleaving.
+	for lsn := uint64(1); lsn <= uint64(writers*each); lsn++ {
+		if _, ok := got[lsn]; !ok {
+			t.Fatalf("missing lsn %d", lsn)
+		}
+	}
+}
+
+func TestSyncOffNeverFsyncs(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs, Policy: SyncOff}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b")
+	l.Close()
+	if s := l.Stats(); s.Fsyncs != 0 {
+		t.Fatalf("Fsyncs = %d under SyncOff", s.Fsyncs)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SyncPolicy
+		err  bool
+	}{
+		{"always", SyncAlways, false},
+		{"", SyncAlways, false},
+		{"Interval", SyncInterval, false},
+		{"off", SyncOff, false},
+		{"none", SyncOff, false},
+		{"sometimes", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSyncPolicy(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncOff} {
+		back, err := ParseSyncPolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip %v: %v, %v", p, back, err)
+		}
+	}
+}
+
+func TestStatementCodecRoundTrip(t *testing.T) {
+	batches := [][]string{
+		nil,
+		{"INSERT INTO t VALUES (1)"},
+		{"CREATE TABLE t (a INT)", "INSERT INTO t VALUES (1, 'x; y')", "DROP TABLE t"},
+		{strings.Repeat("UPDATE — unicode ✓ ", 100)},
+	}
+	for _, stmts := range batches {
+		got, err := DecodeStatements(EncodeStatements(stmts))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", stmts, err)
+		}
+		if len(got) != len(stmts) {
+			t.Fatalf("decode(%v) = %v", stmts, got)
+		}
+		for i := range stmts {
+			if got[i] != stmts[i] {
+				t.Fatalf("stmt %d = %q, want %q", i, got[i], stmts[i])
+			}
+		}
+	}
+}
+
+func TestDecodeStatementsHostile(t *testing.T) {
+	// A huge count must be rejected before allocation, not trusted.
+	hostile := []byte{0xff, 0xff, 0xff, 0xff, 0x0f}
+	if _, err := DecodeStatements(hostile); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+	// Trailing garbage after a valid batch is rejected.
+	withTrailing := append(EncodeStatements([]string{"a"}), 0x00)
+	if _, err := DecodeStatements(withTrailing); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(make([]byte, MaxRecordPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	inner := NewMemFS()
+	ffs := NewFaultFS(inner)
+	l, err := Open(Options{FS: ffs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "survives")
+	// Kill the disk 5 bytes into the next record.
+	ffs.Arm(5)
+	if _, err := l.Append([]byte("torn")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Append after crash: err = %v, want ErrCrashed", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("fault did not fire")
+	}
+	if _, err := l.Append([]byte("rejected")); err == nil {
+		t.Fatal("append on poisoned log accepted")
+	}
+	// "Reboot": recover from the inner FS as the post-crash disk.
+	got, stats := replayAll(t, inner, 0)
+	if len(got) != 1 || got[1] != "survives" || !stats.TornTail {
+		t.Fatalf("post-crash replay %v (stats %+v)", got, stats)
+	}
+}
+
+func TestDirFS(t *testing.T) {
+	dir := t.TempDir()
+	dfs, err := NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(Options{FS: dfs, SegmentBytes: 24}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "aaaa", "bbbb", "cccc")
+	l.Close()
+	got, _ := replayAll(t, dfs, 0)
+	if len(got) != 3 || got[3] != "cccc" {
+		t.Fatalf("replayed %v", got)
+	}
+	// Reopen and keep going on the real filesystem.
+	l, err = Open(Options{FS: dfs, SegmentBytes: 24}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsns := appendAll(t, l, "dddd"); lsns[0] != 4 {
+		t.Fatalf("lsn = %d, want 4", lsns[0])
+	}
+	if err := l.Prune(3); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, _ = replayAll(t, dfs, 3)
+	if len(got) != 1 || got[4] != "dddd" {
+		t.Fatalf("replayed %v", got)
+	}
+}
+
+func TestStatsTrace(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{FS: fs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b")
+	l.Close()
+	tr := l.Stats().Trace()
+	if tr.Mode != "wal-stats" || len(tr.Spans) == 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	found := false
+	for _, sp := range tr.Spans {
+		if sp.Op != "counter" || sp.Phase != "wal" {
+			t.Fatalf("span %+v", sp)
+		}
+		if sp.Label == "wal_records" && sp.RowsOut == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wal_records span missing: %+v", tr.Spans)
+	}
+}

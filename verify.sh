@@ -13,9 +13,13 @@
 # oracle across workloads, parallelism degrees, and connection flavors), a
 # vectorized benchmark smoke, the chaos differential gate (fault-injected
 # connections must either converge to the byte-exact oracle after retries
-# or fail with a typed terminal error — never silent corruption), a short
-# fuzzing pass over the three byte-hostile surfaces (SQL text in, wire
-# bytes in, fault plans in), and the tracer overhead guard.
+# or fail with a typed terminal error — never silent corruption), the
+# crash-recovery differential gate (kill the process at every interesting
+# WAL byte offset, recover, and require byte-identical state against an
+# uncrashed oracle with prefix consistency: acked commits never lost,
+# unacked tail droppable, nothing half-applied), a short fuzzing pass over
+# the byte-hostile surfaces (SQL text in, wire bytes in, fault plans in,
+# WAL segments in, snapshots in), and the tracer overhead guard.
 set -eu
 
 cd "$(dirname "$0")"
@@ -29,10 +33,11 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel, colstore, engine, core, bloom, trace, db, cache, wire, faultnet, client)"
+echo "== go test -race (parallel, colstore, engine, core, bloom, trace, db, cache, wire, faultnet, client, wal, snapshot, durable)"
 go test -race -timeout 300s ./internal/parallel ./internal/colstore ./internal/engine \
 	./internal/core ./internal/bloom ./internal/trace ./internal/db \
-	./internal/cache ./internal/wire ./internal/faultnet ./internal/client
+	./internal/cache ./internal/wire ./internal/faultnet ./internal/client \
+	./internal/wal ./internal/snapshot ./internal/durable
 
 echo "== cache differential + stress gate (cold/warm/invalidate vs uncached oracle, under -race)"
 go test -race -run 'TestCacheDifferential|TestServerCacheStress' -count=1 ./internal/wire
@@ -49,6 +54,11 @@ go test -race -timeout 300s -count=1 \
 	-run 'TestChaos|TestIntegrityNegotiated|TestShutdown|TestServerStats' \
 	./internal/wire
 
+echo "== crash-recovery differential gate (kill at every WAL byte offset vs uncrashed oracle, under -race)"
+go test -race -timeout 300s -count=1 \
+	-run 'TestCrashRecoveryDifferential|TestCrashDuringCheckpoint|TestRecoveryLiveness|TestRecoveryColdCache|TestRecoveryVectorizedResults' \
+	./internal/durable
+
 echo "== vectorized benchmark smoke (both paths run once on the 16b plan)"
 go test -run '^$' -bench 'BenchmarkVectorized(Join|Reduce)16b' -benchtime 1x .
 
@@ -56,6 +66,8 @@ echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
 go test -run '^$' -fuzz FuzzEncodeDecode -fuzztime 10s ./internal/wire
 go test -run '^$' -fuzz FuzzFaultPlan -fuzztime 10s ./internal/wire
+go test -run '^$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
+go test -run '^$' -fuzz FuzzSnapshotLoad -fuzztime 10s ./internal/snapshot
 
 echo "== tracer overhead guard"
 # The disabled (nil) tracer path is guarded structurally — it must not
