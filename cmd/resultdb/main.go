@@ -12,7 +12,8 @@
 //
 // Shell meta-commands: \d (list tables), \d NAME (describe), \timing
 // (toggle timings), \trace (toggle per-query JSON execution traces),
-// \strategy semijoin|decompose, \cache [on|off|clear|SIZE] (semantic result
+// \strategy semijoin|decompose, \stats [on|off|TABLE] (cost-based planning /
+// show a table's optimizer statistics), \cache [on|off|clear|SIZE] (semantic result
 // cache), \wire [v1|v2|off] (show each result's encoded wire size at a
 // payload version), \save FILE and \open FILE (binary database snapshots),
 // \retry [off|ATTEMPTS [BACKOFF]] (remote retry policy, -connect only),
@@ -333,6 +334,29 @@ func (s *shell) meta(cmd string) bool {
 		} else {
 			fmt.Fprintf(s.out, "wire size display %s\n", s.wireVer)
 		}
+	case "\\stats":
+		if len(fields) == 2 {
+			switch fields[1] {
+			case "on":
+				s.db.SetCostBased(true)
+			case "off":
+				s.db.SetCostBased(false)
+			default:
+				// \stats TABLE — print the table's optimizer statistics.
+				st := s.db.TableStats(fields[1])
+				if st == nil {
+					fmt.Fprintf(s.out, "error: table %q does not exist\n", fields[1])
+					return false
+				}
+				fmt.Fprint(s.out, st.String())
+				return false
+			}
+		}
+		if s.db.CostBased() {
+			fmt.Fprintln(s.out, "cost-based planning on (statistics-driven root, semi-join order, bloom, range prefilter)")
+		} else {
+			fmt.Fprintln(s.out, "cost-based planning off (paper heuristics)")
+		}
 	case "\\strategy":
 		if len(fields) == 2 {
 			switch fields[1] {
@@ -387,7 +411,7 @@ func (s *shell) meta(cmd string) bool {
 			fmt.Fprintf(s.out, "%-24s %8d rows\n", name, t.Len())
 		}
 	default:
-		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\trace, \\strategy, \\cache, \\retry, \\checkpoint, \\wal, \\q")
+		fmt.Fprintln(s.out, "unknown command; try \\d, \\timing, \\trace, \\strategy, \\stats, \\cache, \\retry, \\checkpoint, \\wal, \\q")
 	}
 	return false
 }

@@ -32,20 +32,53 @@ type Filter struct {
 	numAdd int64
 }
 
+// DefaultMaxBytes is the allocation budget New applies: no single filter
+// grows past this many bytes of bit array regardless of n and fpRate. At the
+// optimal ~9.6 bits/element for 1% fp, 16 MiB covers ~14M build keys; beyond
+// that the filter degrades gracefully (higher fp rate) instead of exhausting
+// memory on a pathological estimate.
+const DefaultMaxBytes = 16 << 20
+
 // New sizes a filter for n expected elements at the given false-positive
-// rate (clamped to sane bounds).
+// rate, clamped to sane bounds and the DefaultMaxBytes budget.
 func New(n int, fpRate float64) *Filter {
+	return NewBudget(n, fpRate, DefaultMaxBytes)
+}
+
+// NewBudget is New with an explicit byte budget for the bit array. Degenerate
+// inputs are clamped rather than rejected: n < 1 counts as 1, fpRate outside
+// (0,1) (including NaN) falls back to 1%, a bit count that would overflow or
+// exceed the budget is capped at the budget, and the hash count k always
+// lands in [1,8] (the optimal k rounds to 0 for fpRate near 1 and grows
+// unbounded for tiny fpRate; both ends are clamped).
+func NewBudget(n int, fpRate float64, maxBytes int) *Filter {
 	if n < 1 {
 		n = 1
 	}
-	if fpRate <= 0 || fpRate >= 1 {
+	if math.IsNaN(fpRate) || fpRate <= 0 || fpRate >= 1 {
 		fpRate = 0.01
 	}
+	if maxBytes < 8 {
+		maxBytes = 8
+	}
+	maxBits := uint64(maxBytes) * 8
 	// Optimal bits per element: -ln(p) / ln(2)^2.
 	bitsPerElem := -math.Log(fpRate) / (math.Ln2 * math.Ln2)
-	nBits := uint64(math.Ceil(float64(n) * bitsPerElem))
+	// Budget/overflow clamp in the float domain: float64(n)*bitsPerElem can
+	// exceed 2^63 (or reach +Inf for subnormal fpRate), where a direct
+	// uint64 conversion is implementation-defined.
+	fBits := float64(n) * bitsPerElem
+	var nBits uint64
+	if !(fBits < float64(maxBits)) {
+		nBits = maxBits
+	} else {
+		nBits = uint64(math.Ceil(fBits))
+	}
 	if nBits < 64 {
 		nBits = 64
+	}
+	if nBits > maxBits && maxBits >= 64 {
+		nBits = maxBits
 	}
 	k := int(math.Round(bitsPerElem * math.Ln2))
 	if k < 1 {

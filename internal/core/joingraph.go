@@ -266,13 +266,13 @@ func edgeColsFor(target *Node, e *Edge) (tCols, oCols []int, err error) {
 	return yCols, xCols, nil
 }
 
-// sortNodesDeterministic orders candidate nodes by (criterion, name) so
-// heuristic choices are reproducible across runs.
+// sortNodesDeterministic orders candidate nodes by the criterion, breaking
+// ties by the nodes' ordinal position in the input slice (callers pass
+// g.Nodes copies, so ties resolve to FROM-clause order). The sort is stable
+// and never consults names or map iteration order, so heuristic choices are
+// reproducible across runs and independent of alias spelling.
 func sortNodesDeterministic(nodes []*Node, better func(a, b *Node) bool) {
 	sort.SliceStable(nodes, func(i, j int) bool {
-		if better(nodes[i], nodes[j]) != better(nodes[j], nodes[i]) {
-			return better(nodes[i], nodes[j])
-		}
-		return nodes[i].Name() < nodes[j].Name()
+		return better(nodes[i], nodes[j]) && !better(nodes[j], nodes[i])
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"resultdb/internal/bloom"
 	"resultdb/internal/engine"
 	"resultdb/internal/parallel"
+	"resultdb/internal/stats"
 	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
@@ -31,6 +32,12 @@ const (
 	RootFirst
 	// RootMaxDegree picks the highest-degree node regardless of projection.
 	RootMaxDegree
+	// RootCostBased simulates both reduction passes per candidate root and
+	// picks the one minimizing estimated total semi-join work (Σ build +
+	// probe cardinalities over the BFS edge order). Requires table
+	// statistics (Options.TableStats); falls back to RootHeuristic without
+	// them. Selected implicitly when Options.CostBased upgrades the default.
+	RootCostBased
 )
 
 // bfsEdge is one tree edge directed away from the root.
@@ -48,6 +55,11 @@ func chooseRoot(g *Graph, strategy RootStrategy) *Node {
 	switch strategy {
 	case RootFirst:
 		return g.Nodes[0]
+	case RootCostBased:
+		// Without an estimator (no statistics) the cost-based strategy
+		// degenerates to the paper heuristic; ReduceRelations routes the
+		// stats-backed case to chooseRootCostBased before reaching here.
+		return chooseRoot(g, RootHeuristic)
 	case RootMaxDegree:
 		sortNodesDeterministic(candidates, func(a, b *Node) bool {
 			return g.Degree(a) > g.Degree(b)
@@ -95,7 +107,14 @@ func bfsEdges(g *Graph, root *Node) ([]bfsEdge, error) {
 // returning whether target shrank. The probe over target's rows runs at
 // degree par (0 = auto, 1 = serial) with deterministic ordered merge. phase
 // labels the pass ("bottom-up" or "top-down") in the recorded span.
-func semiJoinNodes(target, source *Node, e *Edge, st *Stats, opts *Options, phase string) error {
+//
+// In cost-based mode (est non-nil) the span gains the estimated output
+// cardinality, and sideways information passing may pre-drop probe rows
+// outside the build side's numeric key range before they are hashed. The
+// range filter only removes rows the exact semi-join would drop anyway
+// (NULL, non-numeric against an all-numeric build, or numerically outside
+// every build key), so the result is byte-identical.
+func semiJoinNodes(target, source *Node, e *Edge, st *Stats, opts *Options, phase string, est *estimator) error {
 	tCols, sCols, err := edgeColsFor(target, e)
 	if err != nil {
 		return err
@@ -107,6 +126,31 @@ func semiJoinNodes(target, source *Node, e *Edge, st *Stats, opts *Options, phas
 		sp.Phase = phase
 		sp.RowsIn = before
 		sp.RowsBuild = len(source.Rel.Rows)
+		if est != nil {
+			sp.EstOut = int(est.liveSel(target, source, e)*float64(before) + 0.5)
+		}
+	}
+	// Sideways information passing: bound the probe side by the build side's
+	// numeric key range before hashing. Gated by the histogram estimate so
+	// the pre-scan only runs when it is predicted to pay off, and by the
+	// build side being much smaller than the probe side — finding the build
+	// range is itself a full scan of the build keys, which only amortizes
+	// against a substantially larger probe.
+	if est != nil && len(tCols) == 1 && before >= sipMinTargetRows &&
+		len(source.Rel.Rows) > 0 && len(source.Rel.Rows)*4 <= before {
+		if lo, hi, ok := engine.NumKeyRange(source.Rel, sCols[0]); ok {
+			if est.rangeFrac(target, tCols[0], lo, hi) <= sipMaxKeepFrac {
+				filtered, skipped := engine.RangeSemiFilter(target.Rel, tCols[0], lo, hi, opts.Parallelism)
+				if skipped > 0 {
+					target.Rel = filtered
+					st.RangeSkipped += skipped
+					st.PlanDiverged = true
+					if sp != nil {
+						sp.RangeSkipped = skipped
+					}
+				}
+			}
+		}
 	}
 	if opts.Vectorized {
 		target.Rel = engine.SemiJoinVecSpan(target.Rel, tCols, source.Rel, sCols, opts.Parallelism, sp)
@@ -115,6 +159,7 @@ func semiJoinNodes(target, source *Node, e *Edge, st *Stats, opts *Options, phas
 	}
 	st.SemiJoins++
 	st.TuplesDropped += before - len(target.Rel.Rows)
+	est.observe(target)
 	if sp != nil {
 		sp.RowsOut = len(target.Rel.Rows)
 		opts.Tracer.AddRowsDropped(before - len(target.Rel.Rows))
@@ -129,9 +174,14 @@ func semiJoinNodes(target, source *Node, e *Edge, st *Stats, opts *Options, phas
 // bloomSemiJoinNodes reduces target by an approximate membership test on
 // source's join keys. It may retain false positives but never drops a
 // matching tuple. Both the filter build (atomic bit sets) and the probe
-// (chunked with ordered merge) run at degree par.
-func bloomSemiJoinNodes(target, source *Node, e *Edge, fpRate float64, st *Stats, opts *Options) error {
+// (chunked with ordered merge) run at degree par. nEst sizes the filter
+// (the cost-based mode passes the estimated distinct build-key count, which
+// governs fill; 0 falls back to the build side's row count).
+func bloomSemiJoinNodes(target, source *Node, e *Edge, nEst int, fpRate float64, st *Stats, opts *Options) error {
 	par := opts.Parallelism
+	if nEst <= 0 {
+		nEst = len(source.Rel.Rows)
+	}
 	tCols, sCols, err := edgeColsFor(target, e)
 	if err != nil {
 		return err
@@ -147,7 +197,7 @@ func bloomSemiJoinNodes(target, source *Node, e *Edge, fpRate float64, st *Stats
 		sp.Morsels = parallel.Chunks(len(target.Rel.Rows), par)
 		t0 = time.Now()
 	}
-	f := bloom.New(len(source.Rel.Rows), fpRate)
+	f := bloom.New(nEst, fpRate)
 	out := &engine.Relation{Cols: target.Rel.Cols}
 	if opts.Vectorized {
 		// Columnar build and probe: hash straight from column data (identical
@@ -246,7 +296,24 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 	}
 	par := parallel.Degree(opts.Parallelism)
 	st.Parallelism = par
-	root := chooseRoot(g, opts.Root)
+	var est *estimator
+	if opts.CostBased {
+		est = newEstimator(g, opts.TableStats)
+	}
+	rootStrategy := opts.Root
+	if est != nil && rootStrategy == RootHeuristic {
+		rootStrategy = RootCostBased
+	}
+	var root *Node
+	if rootStrategy == RootCostBased && est != nil {
+		var switched bool
+		root, switched = chooseRootCostBased(g, &opts, est)
+		if switched {
+			st.PlanDiverged = true
+		}
+	} else {
+		root = chooseRoot(g, rootStrategy)
+	}
 	st.Root = root.Name()
 	if sp := opts.Tracer.Span("root", root.Name()); sp != nil {
 		sp.Detail = fmt.Sprintf("(degree %d, projected %v)", g.Degree(root), g.Projected(root))
@@ -262,31 +329,72 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 		return err
 	}
 
-	// (0) Optional Bloom prefilter: the same two passes with approximate
-	// membership tests; shrinks inputs before the exact passes.
-	if opts.BloomPrefilter {
+	// (0) Bloom prefilter: the same two passes with approximate membership
+	// tests; shrinks inputs before the exact passes. The heuristic mode runs
+	// every edge when opts.BloomPrefilter is set; the cost-based mode
+	// decides per edge (and sizes each filter from the estimated distinct
+	// build-key count) whether the approximate pass pays for itself.
+	if opts.BloomPrefilter || est != nil {
 		fp := opts.BloomFPRate
 		if fp <= 0 {
 			fp = 0.01
 		}
+		if opts.BloomPrefilter && est != nil {
+			// The cost-based mode gates edges the always-on prefilter would
+			// run, so the two executions differ regardless of drops.
+			st.PlanDiverged = true
+		}
+		runBloom := func(target, source *Node, e *Edge) error {
+			nEst := 0
+			if est != nil {
+				if !est.bloomWorth(target, source, e) {
+					return nil
+				}
+				nEst = est.bloomSize(source, e)
+			}
+			droppedBefore := st.BloomDropped
+			if err := bloomSemiJoinNodes(target, source, e, nEst, fp, st, &opts); err != nil {
+				return err
+			}
+			if est != nil && st.BloomDropped > droppedBefore {
+				st.PlanDiverged = true
+			}
+			est.observe(target)
+			return nil
+		}
 		for i := len(order) - 1; i >= 0; i-- {
 			be := order[i]
-			if err := bloomSemiJoinNodes(be.parent, be.child, be.edge, fp, st, &opts); err != nil {
+			if err := runBloom(be.parent, be.child, be.edge); err != nil {
 				return err
 			}
 		}
 		for _, be := range order {
-			if err := bloomSemiJoinNodes(be.child, be.parent, be.edge, fp, st, &opts); err != nil {
+			if err := runBloom(be.child, be.parent, be.edge); err != nil {
 				return err
 			}
 		}
 	}
 
-	// (1) Bottom-up: reduce parents by children, leaves towards root.
-	for i := len(order) - 1; i >= 0; i-- {
-		be := order[i]
-		if err := semiJoinNodes(be.parent, be.child, be.edge, st, &opts, "bottom-up"); err != nil {
-			return err
+	// (1) Bottom-up: reduce parents by children, leaves towards root. The
+	// cost-based mode executes the same edge set in most-selective-first
+	// order (a valid children-first linearization, see costOrderBottomUp);
+	// the heuristic keeps reverse BFS order.
+	if est != nil {
+		sched, reordered := costOrderBottomUp(order, est)
+		if reordered {
+			st.PlanDiverged = true
+		}
+		for _, be := range sched {
+			if err := semiJoinNodes(be.parent, be.child, be.edge, st, &opts, "bottom-up", est); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i := len(order) - 1; i >= 0; i-- {
+			be := order[i]
+			if err := semiJoinNodes(be.parent, be.child, be.edge, st, &opts, "bottom-up", nil); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -322,7 +430,7 @@ func ReduceRelations(g *Graph, opts Options, st *Stats) error {
 				continue
 			}
 		}
-		if err := semiJoinNodes(be.child, be.parent, be.edge, st, &opts, "top-down"); err != nil {
+		if err := semiJoinNodes(be.child, be.parent, be.edge, st, &opts, "top-down", est); err != nil {
 			return err
 		}
 		if opts.EarlyStop && g.Projected(be.child) {
@@ -395,6 +503,20 @@ type Options struct {
 	ResultCache bool
 	// ResultCacheBudget is the cache's byte budget (0 = the 64 MiB default).
 	ResultCacheBudget int64
+	// CostBased switches planning to the statistics-driven cost model: root
+	// selection simulates both passes per candidate (RootCostBased), the
+	// bottom-up pass runs most-selective-first, Bloom prefilters become
+	// per-edge adaptive decisions sized from estimated distinct key counts,
+	// and sideways information passing pre-drops out-of-range probe rows.
+	// Results are byte-identical to the heuristic path — only the plan (and
+	// speed) changes. Requires TableStats; without them every decision falls
+	// back to the heuristic. Defaults to off; the RESULTDB_STATS environment
+	// variable ("on"/"off") overrides it at db.New time.
+	CostBased bool
+	// TableStats maps lower-cased relation aliases to their base tables'
+	// statistics (built lazily by internal/db's generation-tagged cache).
+	// Consulted only when CostBased is set.
+	TableStats map[string]*stats.Table
 	// AlphaReduce drops join-graph edges whose predicates are implied by
 	// transitivity before checking for cycles, so α-acyclic-but-JG-cyclic
 	// queries (Section 4.1's gap between the two notions) skip folding
@@ -429,8 +551,19 @@ type Stats struct {
 	// BloomSemiJoins and BloomDropped count the prefilter pass's work.
 	BloomSemiJoins int
 	BloomDropped   int
+	// RangeSkipped counts probe rows pre-dropped by sideways information
+	// passing (the cost-based min/max range filter) before hashing.
+	RangeSkipped int
 	// ImpliedEdgesDropped counts join-graph edges removed by α-reduction.
 	ImpliedEdgesDropped int
+	// PlanDiverged reports whether cost-based planning executed anything
+	// the heuristic plan would not have: a different root, a reordered
+	// bottom-up pass, a range pre-filter that dropped rows, or an adaptive
+	// Bloom pass that dropped rows. When false, the run was operationally
+	// identical to the heuristic plan, so re-running the same query at the
+	// same table generations can skip the statistics machinery entirely
+	// (the database layer caches this verdict per query).
+	PlanDiverged bool
 	// Parallelism records the effective degree of parallelism used
 	// (after resolving 0 = auto against the environment and GOMAXPROCS).
 	Parallelism int

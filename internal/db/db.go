@@ -17,6 +17,7 @@ import (
 	"resultdb/internal/core"
 	"resultdb/internal/engine"
 	"resultdb/internal/sqlparse"
+	"resultdb/internal/stats"
 	"resultdb/internal/storage"
 	"resultdb/internal/trace"
 	"resultdb/internal/types"
@@ -64,6 +65,18 @@ type Database struct {
 	// allocated (its version counters must track DML even while serving is
 	// off) but consulted only when CoreOptions.ResultCache is set.
 	resultCache *cache.Cache[*Result]
+
+	// statsCache lazily builds and caches per-table optimizer statistics
+	// (internal/stats), invalidated by the tables' generation counters. It
+	// backs ANALYZE and the cost-based planner (CoreOptions.CostBased).
+	statsCache *stats.Cache
+
+	// planVerdicts memoizes, per query, whether cost-based planning
+	// diverged from the heuristic plan (see plancache.go). Guarded by its
+	// own mutex because queries run under d.mu.RLock concurrently.
+	planMu       sync.Mutex
+	planVerdicts map[string]planVerdict
+	planKeys     map[*sqlparse.Select]planKeyMemo
 
 	// commitLog, when set, records every successful mutation statement
 	// before it is acknowledged (see CommitLog). Nil when durability is
@@ -117,10 +130,73 @@ func New() *Database {
 		Strategy:    StrategySemiJoin,
 		CoreOptions: core.DefaultOptions(),
 		resultCache: cache.New[*Result](DefaultCacheBudget),
+		statsCache:  stats.NewCache(),
 	}
 	d.applyCacheEnv()
 	d.applyVecEnv()
+	d.applyStatsEnv()
 	return d
+}
+
+// StatsEnvVar toggles cost-based planning at db.New time: "on"/"1"/"true"/
+// "yes" enables the statistics-driven planner (root choice, semi-join order,
+// adaptive Bloom prefilters, sideways information passing, and join order),
+// "off" and friends force the paper's heuristics. Results are byte-identical
+// either way; only the plan — and therefore speed — differs.
+const StatsEnvVar = "RESULTDB_STATS"
+
+// applyStatsEnv configures cost-based planning from RESULTDB_STATS.
+func (d *Database) applyStatsEnv() {
+	switch strings.ToLower(strings.TrimSpace(os.Getenv(StatsEnvVar))) {
+	case "off", "0", "false", "no":
+		d.CoreOptions.CostBased = false
+	case "on", "1", "true", "yes":
+		d.CoreOptions.CostBased = true
+	}
+}
+
+// SetCostBased toggles cost-based planning (see StatsEnvVar). Statistics are
+// built lazily per table on first use and cached until the table changes;
+// ANALYZE pre-builds them eagerly.
+func (d *Database) SetCostBased(on bool) { d.CoreOptions.CostBased = on }
+
+// CostBased reports whether cost-based planning is enabled.
+func (d *Database) CostBased() bool { return d.CoreOptions.CostBased }
+
+// TableStats returns the (cached, generation-checked) statistics for a table,
+// or nil if the table does not exist. Exported for the shell's \stats command.
+func (d *Database) TableStats(name string) *stats.Table {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, err := d.Table(name)
+	if err != nil {
+		return nil
+	}
+	return d.statsCache.Of(t)
+}
+
+// execAnalyze implements ANALYZE [table]: eagerly (re)build statistics for
+// one table or all tables. It is a read-only statement — statistics are a
+// cache over committed data, so it takes the read lock and is neither logged
+// to the WAL nor a cache-invalidating mutation. Affected reports the number
+// of tables analyzed.
+func (d *Database) execAnalyze(s *sqlparse.Analyze) (*Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if s.Table != "" {
+		t, err := d.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		d.statsCache.Of(t)
+		return &Result{Affected: 1}, nil
+	}
+	n := 0
+	for _, t := range d.tables {
+		d.statsCache.Of(t)
+		n++
+	}
+	return &Result{Affected: n}, nil
 }
 
 // VecEnvVar toggles the vectorized (colstore) execution path at db.New time:
@@ -218,6 +294,14 @@ func (d *Database) executor() *engine.Executor {
 		DPJoinOrder: d.DPJoinOrder,
 		Parallelism: d.CoreOptions.Parallelism,
 		Vectorized:  d.CoreOptions.Vectorized,
+		CostBased:   d.CoreOptions.CostBased,
+		StatsOf: func(table string) *stats.Table {
+			t, err := d.Table(table)
+			if err != nil {
+				return nil
+			}
+			return d.statsCache.Of(t)
+		},
 	}
 }
 
@@ -278,6 +362,9 @@ func (d *Database) Exec(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sel, ok := st.(*sqlparse.Select); ok {
+		sel.Src = sql
+	}
 	return d.ExecStatement(st)
 }
 
@@ -316,6 +403,8 @@ func (d *Database) ExecStatement(st sqlparse.Statement) (res *Result, err error)
 		return d.execMutation(st)
 	case *sqlparse.Explain:
 		return d.execExplain(s)
+	case *sqlparse.Analyze:
+		return d.execAnalyze(s)
 	case *sqlparse.Begin, *sqlparse.Commit, *sqlparse.Rollback:
 		return &Result{}, nil
 	default:
@@ -411,6 +500,9 @@ func (d *Database) execDropLocked(name string, ifExists, mustBeView bool) (*Resu
 	}
 	if err := d.cat.Drop(name); err != nil {
 		return nil, err
+	}
+	if t, ok := d.tables[strings.ToLower(name)]; ok {
+		d.statsCache.Forget(t)
 	}
 	delete(d.tables, strings.ToLower(name))
 	d.bumpTables(name)

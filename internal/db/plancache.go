@@ -1,0 +1,148 @@
+package db
+
+import (
+	"resultdb/internal/engine"
+	"resultdb/internal/sqlparse"
+	"resultdb/internal/storage"
+)
+
+// The plan-verdict cache memoizes one bit per (query, table generations):
+// did cost-based reduction planning produce a plan operationally different
+// from the heuristic's? Statistics make big queries faster by switching
+// roots, reordering passes, and injecting pre-filters — but on tiny queries
+// whose cost-based plan comes out identical to the heuristic plan, the
+// planning work itself is pure overhead paid on every execution. Once a
+// full cost-based run reports core.Stats.PlanDiverged == false, re-running
+// the same statement against unchanged tables skips the statistics
+// machinery and takes the (provably identical) heuristic path directly.
+// Any DML/DDL on an involved table bumps its generation and invalidates
+// the verdict, so the next execution re-plans with fresh statistics.
+//
+// Traced runs (EXPLAIN ANALYZE and friends) bypass the cache in both
+// directions: they always plan with statistics so the trace shows the
+// cost-based decisions, and they record nothing.
+
+// planVerdictCap bounds the verdict map. Verdicts are one bool plus a few
+// slices, so the bound exists only to stop unbounded growth under
+// generated-query workloads; overflow simply resets the map (verdicts are
+// re-derived in one execution each).
+const planVerdictCap = 512
+
+// planVerdict fingerprints the tables a verdict was recorded against.
+// Identity is by table pointer plus generation plus row count, mirroring
+// the statistics cache's invalidation rule: any of the three changing
+// means the statistics (and hence possibly the plan) changed.
+type planVerdict struct {
+	tables   []*storage.Table
+	gens     []uint64
+	rows     []int
+	diverged bool
+}
+
+// planKeyMemo caches one statement's rendered verdict key. Clients that
+// re-execute a parsed *Select (benchmark loops, prepared-statement-style
+// reuse) would otherwise pay the SQL render — a few microseconds on wide
+// JOB queries, which is the same order as the whole planning overhead the
+// verdict cache exists to remove. The memo is validated against the
+// fields a caller could plausibly mutate between executions (the WHERE
+// root pointer, FROM arity, and the mode flags); a stale or colliding
+// memo can only misdirect the stats-skip decision, never the results —
+// both the cost-based and the heuristic path compute the same bytes.
+type planKeyMemo struct {
+	where      sqlparse.Expr
+	from       int
+	resultdb   bool
+	preserving bool
+	distinct   bool
+	key        string
+}
+
+// planKey returns the verdict-cache key for sel: the raw source text when
+// the parser recorded it (zero cost), else the rendered SQL memoized per
+// statement object. The execution mode is appended by the caller — the
+// same statement in RDB vs RDBRP mode has different outputs and hence a
+// different early-stop surface, so the two must not share a verdict.
+func (d *Database) planKey(sel *sqlparse.Select) string {
+	if sel.Src != "" {
+		return sel.Src
+	}
+	d.planMu.Lock()
+	m, ok := d.planKeys[sel]
+	d.planMu.Unlock()
+	if ok && m.where == sel.Where && m.from == len(sel.From) &&
+		m.resultdb == sel.ResultDB && m.preserving == sel.Preserving && m.distinct == sel.Distinct {
+		return m.key
+	}
+	key := sel.SQL()
+	d.planMu.Lock()
+	if d.planKeys == nil || len(d.planKeys) >= planVerdictCap {
+		d.planKeys = make(map[*sqlparse.Select]planKeyMemo, 64)
+	}
+	d.planKeys[sel] = planKeyMemo{
+		where:      sel.Where,
+		from:       len(sel.From),
+		resultdb:   sel.ResultDB,
+		preserving: sel.Preserving,
+		distinct:   sel.Distinct,
+		key:        key,
+	}
+	d.planMu.Unlock()
+	return key
+}
+
+// modeKeySuffix disambiguates verdicts of the same statement text executed
+// in different subdatabase modes (QueryResultDB can force either mode on
+// the same parsed statement).
+func modeKeySuffix(mode Mode) string {
+	if mode == ModeRDBRP {
+		return "\x00rp"
+	}
+	return ""
+}
+
+// planConfirmedHeuristic reports whether a previous cost-based execution of
+// key recorded a non-diverged plan that is still valid for the current
+// table generations.
+func (d *Database) planConfirmedHeuristic(key string, spec *engine.SPJSpec) bool {
+	d.planMu.Lock()
+	v, ok := d.planVerdicts[key]
+	d.planMu.Unlock()
+	if !ok || v.diverged || len(v.tables) != len(spec.Rels) {
+		return false
+	}
+	for i, r := range spec.Rels {
+		t, err := d.Table(r.Table)
+		if err != nil || t != v.tables[i] || t.Generation() != v.gens[i] || t.Len() != v.rows[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recordPlanVerdict stores the divergence verdict of a completed cost-based
+// execution, fingerprinted by the involved tables' current generations.
+func (d *Database) recordPlanVerdict(key string, spec *engine.SPJSpec, diverged bool) {
+	v := planVerdict{
+		tables:   make([]*storage.Table, 0, len(spec.Rels)),
+		gens:     make([]uint64, 0, len(spec.Rels)),
+		rows:     make([]int, 0, len(spec.Rels)),
+		diverged: diverged,
+	}
+	for _, r := range spec.Rels {
+		t, err := d.Table(r.Table)
+		if err != nil {
+			// A table vanished mid-flight; the verdict cannot be
+			// fingerprinted, so don't cache it.
+			return
+		}
+		v.tables = append(v.tables, t)
+		v.gens = append(v.gens, t.Generation())
+		v.rows = append(v.rows, t.Len())
+	}
+	d.planMu.Lock()
+	if d.planVerdicts == nil || len(d.planVerdicts) >= planVerdictCap {
+		d.planVerdicts = make(map[string]planVerdict, 64)
+	}
+	d.planVerdicts[key] = v
+	d.planMu.Unlock()
+}

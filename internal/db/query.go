@@ -9,6 +9,7 @@ import (
 	"resultdb/internal/engine"
 	"resultdb/internal/parallel"
 	"resultdb/internal/sqlparse"
+	"resultdb/internal/stats"
 	"resultdb/internal/trace"
 	"resultdb/internal/types"
 )
@@ -140,7 +141,7 @@ func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode, tr *trac
 		outputs = relationshipRels(spec)
 	}
 	tr.SetOutputs(outputs)
-	reduced, stats, err := d.reduceSpec(spec, outputs, tr)
+	reduced, stats, err := d.reduceSpec(sel, spec, outputs, tr, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +203,7 @@ func relationshipRels(spec *engine.SPJSpec) []string {
 // algorithm cannot handle (cross-relation residual predicates, disconnected
 // join graphs) automatically use the Decompose strategy, which is always
 // applicable.
-func (d *Database) reduceSpec(spec *engine.SPJSpec, outputs []string, tr *trace.Tracer) (map[string]*engine.Relation, *core.Stats, error) {
+func (d *Database) reduceSpec(sel *sqlparse.Select, spec *engine.SPJSpec, outputs []string, tr *trace.Tracer, mode Mode) (map[string]*engine.Relation, *core.Stats, error) {
 	ex := d.executorTraced(tr)
 	strategy := d.Strategy
 	if len(spec.Residual) > 0 {
@@ -218,8 +219,28 @@ func (d *Database) reduceSpec(spec *engine.SPJSpec, outputs []string, tr *trace.
 		}
 		opts := d.CoreOptions
 		opts.Tracer = tr
+		verdictKey := ""
+		if opts.CostBased {
+			switch {
+			case tr.Enabled():
+				// Traced runs always plan with statistics so the trace
+				// shows the cost-based decisions; they bypass the verdict
+				// cache in both directions.
+				opts.TableStats = d.aliasStats(spec)
+			case d.planConfirmedHeuristic(d.planKey(sel)+modeKeySuffix(mode), spec):
+				// A prior cost-based run of this statement at these table
+				// generations produced exactly the heuristic plan; skip
+				// the statistics machinery and take that plan directly.
+			default:
+				verdictKey = d.planKey(sel) + modeKeySuffix(mode)
+				opts.TableStats = d.aliasStats(spec)
+			}
+		}
 		reduced, stats, err := core.SemiJoinReduce(spec, rels, outputs, opts)
 		if err == nil {
+			if verdictKey != "" && stats != nil {
+				d.recordPlanVerdict(verdictKey, spec, stats.PlanDiverged)
+			}
 			return reduced, stats, nil
 		}
 		if !errors.Is(err, core.ErrDisconnected) {
@@ -244,6 +265,22 @@ func (d *Database) reduceSpec(spec *engine.SPJSpec, outputs []string, tr *trace.
 	}
 	tr.Note(fmt.Sprintf("decompose into %d relations + dedup", len(outputs)))
 	return reduced, nil, nil
+}
+
+// aliasStats maps each of the query's aliases (lower-cased) to its base
+// table's cached statistics, for the cost-based reduction planner. Aliases
+// over missing tables (materialized views dropped mid-flight, etc.) are
+// simply absent; the estimator treats absent stats conservatively.
+func (d *Database) aliasStats(spec *engine.SPJSpec) map[string]*stats.Table {
+	out := make(map[string]*stats.Table, len(spec.Rels))
+	for _, r := range spec.Rels {
+		t, err := d.Table(r.Table)
+		if err != nil {
+			continue
+		}
+		out[strings.ToLower(r.Alias)] = d.statsCache.Of(t)
+	}
+	return out
 }
 
 // PostJoin reconstructs the single-table result from a previously computed

@@ -7,6 +7,7 @@ import (
 
 	"resultdb/internal/parallel"
 	"resultdb/internal/sqlparse"
+	"resultdb/internal/stats"
 	"resultdb/internal/storage"
 	"resultdb/internal/trace"
 	"resultdb/internal/types"
@@ -28,6 +29,14 @@ type Executor struct {
 	// dictionary-encoded TEXT). Results are bit-identical to the row path;
 	// only speed and the `vectorized` trace annotation differ.
 	Vectorized bool
+	// CostBased switches the greedy SPJ join ordering from raw cardinality
+	// to the statistics-driven estimate (joinAllStats), when StatsOf is also
+	// set. DPJoinOrder takes precedence. The joined row multiset is
+	// identical either way; row order may differ with the join order.
+	CostBased bool
+	// StatsOf resolves table statistics by table name (nil results are
+	// tolerated: columns without stats fall back to worst-case NDVs).
+	StatsOf func(table string) *stats.Table
 	// Tracer, when non-nil, records per-operator spans (scan, join,
 	// filter, project cardinalities and timings). Nil (the default) is the
 	// disabled fast path: operators skip all recording on a single nil
@@ -116,9 +125,12 @@ func (e *Executor) RunSPJ(spec *SPJSpec) (*Relation, error) {
 		return nil, err
 	}
 	var joined *Relation
-	if e.DPJoinOrder {
+	switch {
+	case e.DPJoinOrder:
 		joined, err = joinAllDP(spec.JoinPreds, rels, e.Parallelism, e.Tracer)
-	} else {
+	case e.CostBased && e.StatsOf != nil:
+		joined, err = joinAllStats(spec, rels, e.StatsOf, e.Parallelism, e.Tracer)
+	default:
 		joined, err = joinAll(spec.JoinPreds, rels, e.Parallelism, e.Tracer)
 	}
 	if err != nil {
@@ -220,53 +232,66 @@ func joinAll(preds []JoinPred, rels map[string]*Relation, par int, tr *trace.Tra
 		}
 		nrel := remaining[next]
 		delete(remaining, next)
-
-		// Gather every join predicate between `next` and the joined set.
-		var lCols, rCols []int
-		for _, j := range preds {
-			l, r := strings.ToLower(j.LeftRel), strings.ToLower(j.RightRel)
-			var side JoinPred
-			switch {
-			case inSet[l] && r == next:
-				side = j
-			case inSet[r] && l == next:
-				side = j.Reverse()
-			default:
-				continue
-			}
-			li, err := cur.ColIndex(side.LeftRel, side.LeftCol)
-			if err != nil {
-				return nil, err
-			}
-			ri, err := nrel.ColIndex(side.RightRel, side.RightCol)
-			if err != nil {
-				return nil, err
-			}
-			lCols = append(lCols, li)
-			rCols = append(rCols, ri)
-		}
-		if err := crossCheck(lCols, rCols); err != nil {
+		var err error
+		cur, err = joinStep(cur, inSet, next, nrel, preds, par, tr, 0)
+		if err != nil {
 			return nil, err
 		}
-		before := len(cur.Rows)
-		var sp *trace.Span
-		if tr.Enabled() {
-			op := "hash-join"
-			if len(lCols) == 0 {
-				op = "cross-join"
-			}
-			sp = tr.Span(op, next)
-			sp.Phase = "join"
-			sp.Keys = len(lCols)
-			sp.RowsIn = before
-			sp.RowsBuild = len(nrel.Rows)
-		}
-		cur = hashJoinVecInner(cur, nrel, lCols, rCols, par, sp)
-		if sp != nil {
-			sp.RowsOut = len(cur.Rows)
-			tr.AddRowsJoined(len(cur.Rows))
-		}
 		inSet[next] = true
+	}
+	return cur, nil
+}
+
+// joinStep joins `next` into the current intermediate result, applying every
+// predicate between next and the joined set in one hash join (cycle edges
+// included, via composite keys). estOut, when non-zero, is the planner's
+// estimated output cardinality, recorded in the span's strippable bracket.
+func joinStep(cur *Relation, inSet map[string]bool, next string, nrel *Relation, preds []JoinPred, par int, tr *trace.Tracer, estOut int) (*Relation, error) {
+	// Gather every join predicate between `next` and the joined set.
+	var lCols, rCols []int
+	for _, j := range preds {
+		l, r := strings.ToLower(j.LeftRel), strings.ToLower(j.RightRel)
+		var side JoinPred
+		switch {
+		case inSet[l] && r == next:
+			side = j
+		case inSet[r] && l == next:
+			side = j.Reverse()
+		default:
+			continue
+		}
+		li, err := cur.ColIndex(side.LeftRel, side.LeftCol)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := nrel.ColIndex(side.RightRel, side.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		lCols = append(lCols, li)
+		rCols = append(rCols, ri)
+	}
+	if err := crossCheck(lCols, rCols); err != nil {
+		return nil, err
+	}
+	before := len(cur.Rows)
+	var sp *trace.Span
+	if tr.Enabled() {
+		op := "hash-join"
+		if len(lCols) == 0 {
+			op = "cross-join"
+		}
+		sp = tr.Span(op, next)
+		sp.Phase = "join"
+		sp.Keys = len(lCols)
+		sp.RowsIn = before
+		sp.RowsBuild = len(nrel.Rows)
+		sp.EstOut = estOut
+	}
+	cur = hashJoinVecInner(cur, nrel, lCols, rCols, par, sp)
+	if sp != nil {
+		sp.RowsOut = len(cur.Rows)
+		tr.AddRowsJoined(len(cur.Rows))
 	}
 	return cur, nil
 }

@@ -87,6 +87,15 @@ type Explain struct {
 	Query   *Select
 }
 
+// Analyze is ANALYZE [table]: (re)build optimizer statistics — per-column
+// min/max, null fraction, distinct-count sketch, and equi-depth histogram —
+// for one table, or for every table when no name is given. Statistics feed
+// the cost-based reduction planner (Options.CostBased / RESULTDB_STATS).
+type Analyze struct {
+	// Table is the table to analyze; empty means all tables.
+	Table string
+}
+
 // JoinType distinguishes inner and left outer joins.
 type JoinType uint8
 
@@ -161,6 +170,13 @@ type Select struct {
 	Having  Expr
 	OrderBy []OrderItem
 	Limit   *int64
+	// Src is the raw statement text this Select was parsed from, when the
+	// parse entry point had it (ParseSelect, Database.Exec). It is not part
+	// of the statement's semantics and is never rendered; the database uses
+	// it as a cheap stable cache key to avoid re-rendering SQL() on every
+	// execution of a re-parsed statement. Empty when the Select was built
+	// programmatically or arrived via a multi-statement script.
+	Src string
 }
 
 func (*CreateTable) stmt()            {}
@@ -173,6 +189,7 @@ func (*Commit) stmt()                 {}
 func (*Rollback) stmt()               {}
 func (*Select) stmt()                 {}
 func (*Explain) stmt()                {}
+func (*Analyze) stmt()                {}
 
 // Expr is any scalar expression.
 type Expr interface {

@@ -37,6 +37,7 @@ func ParseSelect(src string) (*Select, error) {
 	if !ok {
 		return nil, fmt.Errorf("sqlparse: expected a SELECT statement")
 	}
+	sel.Src = src
 	return sel, nil
 }
 
@@ -145,6 +146,14 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &Explain{Analyze: analyze, Query: sel}, nil
+	case "ANALYZE":
+		p.next()
+		a := &Analyze{}
+		if t := p.peek(); t.kind == tokIdent {
+			p.i++
+			a.Table = t.text
+		}
+		return a, nil
 	case "BEGIN":
 		p.next()
 		p.acceptKeyword("TRANSACTION")

@@ -234,6 +234,22 @@ func TestParseScriptAndTransaction(t *testing.T) {
 	}
 }
 
+func TestParseAnalyze(t *testing.T) {
+	if a := parseOne(t, "ANALYZE").(*Analyze); a.Table != "" {
+		t.Errorf("bare ANALYZE table = %q", a.Table)
+	}
+	a := parseOne(t, "analyze movies").(*Analyze)
+	if a.Table != "movies" {
+		t.Errorf("table = %q", a.Table)
+	}
+	if got := a.SQL(); got != "ANALYZE movies" {
+		t.Errorf("SQL() = %q", got)
+	}
+	if _, err := Parse("ANALYZE t extra"); err == nil {
+		t.Error("trailing tokens accepted")
+	}
+}
+
 func TestParseMatViewAndDrops(t *testing.T) {
 	st := parseOne(t, "CREATE MATERIALIZED VIEW mv AS SELECT a.x FROM a")
 	mv := st.(*CreateMaterializedView)

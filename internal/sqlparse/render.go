@@ -351,6 +351,14 @@ func (e *Explain) SQL() string {
 	return "EXPLAIN " + e.Query.SQL()
 }
 
+// SQL renders ANALYZE [table].
+func (a *Analyze) SQL() string {
+	if a.Table == "" {
+		return "ANALYZE"
+	}
+	return "ANALYZE " + quoteIdent(a.Table)
+}
+
 // SQL renders BEGIN.
 func (*Begin) SQL() string { return "BEGIN TRANSACTION" }
 

@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"sync"
+
+	"resultdb/internal/storage"
+)
+
+// Cache lazily builds and caches per-table statistics, invalidated by the
+// table's generation counter — the exact pattern storage.Table uses for its
+// columnar frame cache. Safe for concurrent readers: queries running under
+// the database's shared read lock may race to build stats for the same table.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[*storage.Table]*cacheEntry
+}
+
+type cacheEntry struct {
+	gen  uint64
+	rows int
+	st   *Table
+}
+
+// NewCache returns an empty statistics cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[*storage.Table]*cacheEntry)}
+}
+
+// Of returns current statistics for t, building them if the cache is cold or
+// stale (the table's generation moved on since the last build).
+func (c *Cache) Of(t *storage.Table) *Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[t]; ok && e.gen == t.Generation() && e.rows == t.Len() {
+		return e.st
+	}
+	st := FromTable(t)
+	c.entries[t] = &cacheEntry{gen: t.Generation(), rows: t.Len(), st: st}
+	return st
+}
+
+// Forget drops any cached entry for t. Called when a table is dropped so the
+// pointer-keyed map does not pin dead tables.
+func (c *Cache) Forget(t *storage.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, t)
+}
+
+// Len returns the number of cached tables (for tests).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzHistogramBuild feeds arbitrary byte strings (decoded as float64s and a
+// bucket count) into the histogram builder and checks its structural
+// invariants: counts sum to the mass, bounds are non-decreasing, the full
+// range covers everything, and every FracInRange answer is a valid fraction.
+func FuzzHistogramBuild(f *testing.F) {
+	f.Add([]byte{1}, 4)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 240, 63, 0, 0, 0, 0, 0, 0, 8, 64}, 2)
+	f.Add(make([]byte, 800), 64)
+	f.Fuzz(func(t *testing.T, data []byte, buckets int) {
+		if buckets > 1<<12 {
+			buckets = 1 << 12
+		}
+		vals := make([]float64, 0, len(data)/8+1)
+		for len(data) >= 8 {
+			vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+			data = data[8:]
+		}
+		if len(data) > 0 {
+			vals = append(vals, float64(int8(data[0])))
+		}
+		h := BuildHistogram(vals, buckets)
+		finite := 0
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				finite++
+			}
+		}
+		if h == nil {
+			if finite != 0 {
+				t.Fatalf("nil histogram for %d usable values", finite)
+			}
+			return
+		}
+		if h.Mass != finite {
+			t.Fatalf("mass %d != usable values %d", h.Mass, finite)
+		}
+		sum := 0
+		for i, c := range h.Counts {
+			if c < 0 {
+				t.Fatalf("negative count at bucket %d", i)
+			}
+			sum += c
+			if i > 0 && h.Bounds[i] < h.Bounds[i-1] {
+				t.Fatalf("bounds decrease at bucket %d: %g < %g", i, h.Bounds[i], h.Bounds[i-1])
+			}
+		}
+		if sum != h.Mass {
+			t.Fatalf("counts sum %d != mass %d", sum, h.Mass)
+		}
+		for _, probe := range [][2]float64{
+			{math.Inf(-1), math.Inf(1)},
+			{h.Min, h.Bounds[len(h.Bounds)-1]},
+			{0, 1},
+			{h.Min - 1, h.Min},
+		} {
+			frac := h.FracInRange(probe[0], probe[1])
+			if math.IsNaN(frac) || frac < 0 || frac > 1 {
+				t.Fatalf("FracInRange(%g,%g) = %g", probe[0], probe[1], frac)
+			}
+		}
+		if got := h.FracInRange(math.Inf(-1), math.Inf(1)); math.Abs(got-1) > 1e-6 {
+			t.Fatalf("full range frac = %g, want 1", got)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// defaultHistBuckets is the target bucket count for equi-depth histograms.
+// 64 buckets resolve ~1.6% selectivity steps, plenty for the coarse gating
+// decisions the planner makes (apply-or-skip, not exact cardinalities).
+const defaultHistBuckets = 64
+
+// Histogram is an equi-depth histogram over float64 values (numeric column
+// values; INTEGER columns are histogrammed by their float value, matching
+// join-key semantics where 1 == 1.0).
+//
+// Bucket i covers (lower_i, Bounds[i]] where lower_0 = Min (inclusive) and
+// lower_i = Bounds[i-1] for i > 0. Bounds are non-decreasing; equal adjacent
+// bounds represent heavy hitters (a value spanning whole buckets).
+type Histogram struct {
+	// Min is the smallest value (lower edge of the first bucket, inclusive).
+	Min float64
+	// Bounds[i] is the inclusive upper edge of bucket i.
+	Bounds []float64
+	// Counts[i] is the number of (sampled) values in bucket i.
+	Counts []int
+	// Mass is the total number of values the histogram was built from
+	// (sum of Counts).
+	Mass int
+}
+
+// BuildHistogram builds an equi-depth histogram with at most buckets buckets
+// from vals. NaN values are ignored. The input slice is not modified.
+// Returns nil when no usable values remain.
+func BuildHistogram(vals []float64, buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	sorted := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			sorted = append(sorted, v)
+		}
+	}
+	if len(sorted) == 0 {
+		return nil
+	}
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if buckets > n {
+		buckets = n
+	}
+	h := &Histogram{
+		Min:    sorted[0],
+		Bounds: make([]float64, buckets),
+		Counts: make([]int, buckets),
+		Mass:   n,
+	}
+	prev := 0
+	for i := 0; i < buckets; i++ {
+		hi := (i + 1) * n / buckets
+		h.Bounds[i] = sorted[hi-1]
+		h.Counts[i] = hi - prev
+		prev = hi
+	}
+	return h
+}
+
+// FracInRange estimates the fraction of the histogrammed values falling in
+// the closed interval [lo, hi], in [0, 1]. Within a bucket the distribution
+// is assumed uniform over the bucket's value span; zero-width buckets (heavy
+// hitters) count fully when their value is inside the interval.
+func (h *Histogram) FracInRange(lo, hi float64) float64 {
+	if h == nil || h.Mass == 0 {
+		return 1
+	}
+	if hi < lo {
+		return 0
+	}
+	last := h.Bounds[len(h.Bounds)-1]
+	if hi < h.Min || lo > last {
+		return 0
+	}
+	covered := 0.0
+	lower := h.Min
+	for i, upper := range h.Bounds {
+		if lower > hi {
+			// Bounds ascend; no later bucket can overlap [lo, hi].
+			break
+		}
+		cnt := float64(h.Counts[i])
+		if cnt > 0 {
+			covered += cnt * overlapFrac(lower, upper, i == 0, lo, hi)
+		}
+		lower = upper
+	}
+	frac := covered / float64(h.Mass)
+	if frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+// overlapFrac estimates what fraction of a bucket spanning (lower, upper]
+// (or [lower, upper] for the first bucket) lies within [lo, hi].
+func overlapFrac(lower, upper float64, first bool, lo, hi float64) float64 {
+	if upper < lo || lower > hi {
+		return 0
+	}
+	if upper == lower {
+		// Point bucket: entirely one value.
+		if upper >= lo && upper <= hi {
+			return 1
+		}
+		return 0
+	}
+	if lo <= lower && hi >= upper {
+		// Whole bucket covered; avoids Inf/Inf when a bucket edge is ±Inf.
+		return 1
+	}
+	a := math.Max(lower, lo)
+	b := math.Min(upper, hi)
+	if b <= a && !(first && a == lower && b == a) {
+		// Degenerate overlap at the open lower edge: approximately nothing.
+		if b < a {
+			return 0
+		}
+	}
+	frac := (b - a) / (upper - lower)
+	if math.IsNaN(frac) || frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}

@@ -194,6 +194,12 @@ func spanLine(sp *Span) string {
 	if sp.Vec {
 		ann = append(ann, "vectorized")
 	}
+	if sp.EstOut > 0 {
+		ann = append(ann, fmt.Sprintf("est %d, actual %d", sp.EstOut, sp.RowsOut))
+	}
+	if sp.RangeSkipped > 0 {
+		ann = append(ann, fmt.Sprintf("range-skip %d", sp.RangeSkipped))
+	}
 	if sp.Dict > 0 {
 		ann = append(ann, fmt.Sprintf("dict %d", sp.Dict))
 	}

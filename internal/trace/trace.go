@@ -81,6 +81,17 @@ type Span struct {
 	// DurNS is the operator's total wall time when the build/probe split
 	// does not apply.
 	DurNS int64 `json:"dur_ns,omitempty"`
+
+	// EstOut is the cost-based planner's estimated output cardinality for
+	// this operator, 0 when planning ran without statistics. Rendered only
+	// inside the strippable [...] bracket (estimated-vs-actual) and excluded
+	// from CountsFingerprint so cost-based and heuristic executions of the
+	// same plan shape fingerprint identically.
+	EstOut int `json:"est_out,omitempty"`
+	// RangeSkipped counts probe rows dropped by the sideways-information-
+	// passing min/max range prefilter before hashing. Excluded from
+	// CountsFingerprint (like Vec); rendered in the [...] bracket.
+	RangeSkipped int `json:"range_skipped,omitempty"`
 }
 
 // Counters are whole-query totals, bumped atomically so operators may update

@@ -11,7 +11,9 @@
 # parallelism degrees and cache settings), the wire v2 differential gate
 # (columnar payloads and streamed transfer byte-identical to a row-path
 # oracle across workloads, parallelism degrees, and connection flavors), a
-# vectorized benchmark smoke, the chaos differential gate (fault-injected
+# vectorized benchmark smoke, the stats differential gate (cost-based
+# planning byte-identical to the heuristic planner across workloads,
+# parallelism degrees, and execution paths), the chaos differential gate (fault-injected
 # connections must either converge to the byte-exact oracle after retries
 # or fail with a typed terminal error — never silent corruption), the
 # crash-recovery differential gate (kill the process at every interesting
@@ -33,9 +35,9 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel, colstore, engine, core, bloom, trace, db, cache, wire, faultnet, client, wal, snapshot, durable)"
+echo "== go test -race (parallel, colstore, engine, core, bloom, stats, trace, db, cache, wire, faultnet, client, wal, snapshot, durable)"
 go test -race -timeout 300s ./internal/parallel ./internal/colstore ./internal/engine \
-	./internal/core ./internal/bloom ./internal/trace ./internal/db \
+	./internal/core ./internal/bloom ./internal/stats ./internal/trace ./internal/db \
 	./internal/cache ./internal/wire ./internal/faultnet ./internal/client \
 	./internal/wal ./internal/snapshot ./internal/durable
 
@@ -44,6 +46,9 @@ go test -race -run 'TestCacheDifferential|TestServerCacheStress' -count=1 ./inte
 
 echo "== vectorized differential gate (colstore candidates vs row-path oracle, par x cache, under -race)"
 go test -race -run 'TestVectorizedDifferential' -count=1 ./internal/wire
+
+echo "== stats differential gate (cost-based planner vs heuristic oracle, par x vec, under -race)"
+go test -race -run 'TestStatsDifferential|TestCostBased' -count=1 ./internal/wire ./internal/core
 
 echo "== wire v2 differential gate (v2 buffered/streamed x par vs v1 oracle, v2 <= v1 bytes, under -race)"
 go test -race -run 'TestWireV2Differential|TestStreamedMatchesBuffered|TestExecStream' -count=1 \
@@ -68,6 +73,7 @@ go test -run '^$' -fuzz FuzzEncodeDecode -fuzztime 10s ./internal/wire
 go test -run '^$' -fuzz FuzzFaultPlan -fuzztime 10s ./internal/wire
 go test -run '^$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
 go test -run '^$' -fuzz FuzzSnapshotLoad -fuzztime 10s ./internal/snapshot
+go test -run '^$' -fuzz FuzzHistogramBuild -fuzztime 10s ./internal/stats
 
 echo "== tracer overhead guard"
 # The disabled (nil) tracer path is guarded structurally — it must not
