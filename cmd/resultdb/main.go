@@ -137,13 +137,13 @@ func main() {
 			}
 		}()
 	} else {
-		d = db.New()
+		d = db.Open(db.DefaultConfig().FromEnv())
 		if err := seed(d); err != nil {
 			fmt.Fprintln(os.Stderr, "resultdb:", err)
 			os.Exit(1)
 		}
 	}
-	s := &shell{db: d, mgr: mgr, out: os.Stdout, trace: *traceExec}
+	s := &shell{sess: d.NewSession(), mgr: mgr, out: os.Stdout, trace: *traceExec}
 	if *execSQL != "" {
 		if err := s.execute(*execSQL); err != nil {
 			fmt.Fprintln(os.Stderr, "resultdb:", err)
@@ -195,7 +195,10 @@ func preload(d *db.Database, workload string, scale float64) error {
 }
 
 type shell struct {
-	db *db.Database
+	// sess is the shell's database session: every statement sees one
+	// consistent snapshot, the shell's own writes are visible immediately,
+	// and \strategy / \stats toggle session-local options.
+	sess *db.Session
 	// mgr, when set, makes the session durable (-data-dir) and enables the
 	// \checkpoint and \wal meta commands.
 	mgr *durable.Manager
@@ -291,27 +294,28 @@ func (s *shell) meta(cmd string) bool {
 		fmt.Fprintf(s.out, "recovery: opened at lsn %d (checkpoint lsn %d, %d replayed, %d skipped, torn tail dropped: %v)\n",
 			st.RecoveredLSN, st.CheckpointLSN, st.Replayed, st.ReplaySkipped, st.TornTail)
 	case "\\cache":
+		d := s.sess.DB()
 		if len(fields) == 2 {
 			switch fields[1] {
 			case "on":
-				s.db.EnableCache(db.DefaultCacheBudget)
+				d.EnableCache(db.DefaultCacheBudget)
 			case "off":
-				s.db.DisableCache()
+				d.DisableCache()
 			case "clear":
-				s.db.ClearCache()
+				d.ClearCache()
 				fmt.Fprintln(s.out, "cache cleared")
 			default:
 				// \cache 256MB — enable with an explicit budget.
 				if budget, err := db.ParseByteSize(fields[1]); err == nil {
-					s.db.EnableCache(budget)
+					d.EnableCache(budget)
 				} else {
 					fmt.Fprintln(s.out, "usage: \\cache [on|off|clear|SIZE]")
 					return false
 				}
 			}
 		}
-		if s.db.CacheEnabled() {
-			st := s.db.CacheStats()
+		if d.CacheEnabled() {
+			st := d.CacheStats()
 			fmt.Fprintf(s.out, "cache on: %d entries, %d/%d bytes, %d hits, %d misses, %d invalidations, %d evictions, %d collapsed\n",
 				st.Entries, st.Bytes, st.Budget, st.Hits, st.Misses, st.Invalidations, st.Evictions, st.Collapsed)
 		} else {
@@ -338,12 +342,12 @@ func (s *shell) meta(cmd string) bool {
 		if len(fields) == 2 {
 			switch fields[1] {
 			case "on":
-				s.db.SetCostBased(true)
+				s.sess.CoreOptions.CostBased = true
 			case "off":
-				s.db.SetCostBased(false)
+				s.sess.CoreOptions.CostBased = false
 			default:
 				// \stats TABLE — print the table's optimizer statistics.
-				st := s.db.TableStats(fields[1])
+				st := s.sess.DB().TableStats(fields[1])
 				if st == nil {
 					fmt.Fprintf(s.out, "error: table %q does not exist\n", fields[1])
 					return false
@@ -352,7 +356,7 @@ func (s *shell) meta(cmd string) bool {
 				return false
 			}
 		}
-		if s.db.CostBased() {
+		if s.sess.CoreOptions.CostBased {
 			fmt.Fprintln(s.out, "cost-based planning on (statistics-driven root, semi-join order, bloom, range prefilter)")
 		} else {
 			fmt.Fprintln(s.out, "cost-based planning off (paper heuristics)")
@@ -361,14 +365,14 @@ func (s *shell) meta(cmd string) bool {
 		if len(fields) == 2 {
 			switch fields[1] {
 			case "semijoin":
-				s.db.Strategy = db.StrategySemiJoin
+				s.sess.Strategy = db.StrategySemiJoin
 			case "decompose":
-				s.db.Strategy = db.StrategyDecompose
+				s.sess.Strategy = db.StrategyDecompose
 			default:
 				fmt.Fprintln(s.out, "usage: \\strategy semijoin|decompose")
 			}
 		}
-		fmt.Fprintf(s.out, "resultdb strategy %v\n", s.db.Strategy)
+		fmt.Fprintf(s.out, "resultdb strategy %v\n", s.sess.Strategy)
 	case "\\save":
 		if len(fields) != 2 {
 			fmt.Fprintln(s.out, "usage: \\save FILE")
@@ -394,17 +398,20 @@ func (s *shell) meta(cmd string) bool {
 			fmt.Fprintln(s.out, "opened", fields[1])
 		}
 	case "\\d":
+		// One snapshot for the whole listing: names and row counts are
+		// mutually consistent even while other connections commit.
+		snap := s.sess.Snapshot()
 		if len(fields) == 2 {
-			def, err := s.db.Catalog().Lookup(fields[1])
+			t, err := snap.Table(fields[1])
 			if err != nil {
 				fmt.Fprintln(s.out, "error:", err)
 				return false
 			}
-			fmt.Fprintln(s.out, def.String())
+			fmt.Fprintln(s.out, t.Def.String())
 			return false
 		}
-		for _, name := range s.db.Catalog().Names() {
-			t, err := s.db.Table(name)
+		for _, name := range snap.TableNames() {
+			t, err := snap.Table(name)
 			if err != nil {
 				continue
 			}
@@ -456,13 +463,14 @@ func (s *shell) metaRetry(fields []string) bool {
 	return false
 }
 
-// saveSnapshot writes the whole database to path.
+// saveSnapshot writes the session's current view of the database to path —
+// one consistent MVCC snapshot, even while other connections commit.
 func (s *shell) saveSnapshot(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := snapshot.Save(s.db, f); err != nil {
+	if err := snapshot.Save(s.sess.Snapshot(), f); err != nil {
 		f.Close()
 		return err
 	}
@@ -480,7 +488,7 @@ func (s *shell) openSnapshot(path string) error {
 	if err != nil {
 		return err
 	}
-	s.db = d
+	s.sess = d.NewSession()
 	return nil
 }
 
@@ -509,7 +517,7 @@ func (s *shell) execute(sql string) error {
 	}
 	for _, st := range stmts {
 		if sel, ok := st.(*sqlparse.Select); ok && s.trace {
-			res, tr, err := s.db.QueryWithTrace(sel)
+			res, tr, err := s.sess.QueryWithTrace(sel)
 			if err != nil {
 				return fmt.Errorf("statement %q: %w", st.SQL(), err)
 			}
@@ -519,7 +527,7 @@ func (s *shell) execute(sql string) error {
 			}
 			continue
 		}
-		res, err := s.db.ExecStatement(st)
+		res, err := s.sess.ExecStatement(st)
 		if err != nil {
 			return fmt.Errorf("statement %q: %w", st.SQL(), err)
 		}
@@ -561,7 +569,7 @@ func (s *shell) printResult(res *db.Result) {
 		fmt.Fprintf(s.out, "-- %s\n", res.Stats)
 	}
 	if s.wireVer != "" {
-		par := s.db.CoreOptions.Parallelism
+		par := s.sess.CoreOptions.Parallelism
 		v1 := len(wire.EncodeResultOptions(res, wire.EncodeOptions{Version: wire.FormatV1, Parallelism: par}))
 		if s.wireVer == "v1" {
 			fmt.Fprintf(s.out, "-- wire v1: %d bytes\n", v1)

@@ -22,7 +22,7 @@ func testShell(t *testing.T) (*shell, *os.File, func() string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &shell{db: d, out: out}
+	s := &shell{sess: d.NewSession(), out: out}
 	return s, out, func() string {
 		data, err := os.ReadFile(out.Name())
 		if err != nil {
@@ -69,11 +69,11 @@ func TestShellMetaCommands(t *testing.T) {
 	if s.meta(`\strategy decompose`) {
 		t.Error("\\strategy should not quit")
 	}
-	if s.db.Strategy != db.StrategyDecompose {
+	if s.sess.Strategy != db.StrategyDecompose {
 		t.Error("strategy not switched")
 	}
 	s.meta(`\strategy semijoin`)
-	if s.db.Strategy != db.StrategySemiJoin {
+	if s.sess.Strategy != db.StrategySemiJoin {
 		t.Error("strategy not switched back")
 	}
 	s.meta(`\nope`)

@@ -94,13 +94,27 @@ func main() {
 		fmt.Printf("recovered %s to lsn %d (checkpoint lsn %d, %d wal records replayed, torn tail dropped: %v)\n",
 			*dataDir, st.RecoveredLSN, st.CheckpointLSN, st.Replayed, st.TornTail)
 	} else {
-		d = db.New()
+		// One config object carries every engine knob: defaults, then
+		// environment overrides (RESULTDB_*), then flags.
+		cfg := db.DefaultConfig().FromEnv()
+		if *cacheOn {
+			budget, perr := db.ParseByteSize(*cacheBudget)
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "resultdbd: -cache-budget:", perr)
+				os.Exit(1)
+			}
+			cfg.CacheEnabled = true
+			cfg.CacheBudget = budget
+		}
+		d = db.Open(cfg)
 		if err := bootstrap(d); err != nil {
 			fmt.Fprintln(os.Stderr, "resultdbd:", err)
 			os.Exit(1)
 		}
 	}
-	if *cacheOn {
+	if *cacheOn && !d.CacheEnabled() {
+		// Durable path: the database came from recovery, not db.Open; apply
+		// the cache flags directly.
 		budget, perr := db.ParseByteSize(*cacheBudget)
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, "resultdbd: -cache-budget:", perr)

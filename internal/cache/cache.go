@@ -35,6 +35,7 @@ package cache
 import (
 	"container/list"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -303,6 +304,138 @@ func (c *Cache[V]) Do(key string, tables []string, compute func() (V, int64, err
 	c.mu.Lock()
 	delete(c.flights, key)
 	if err == nil {
+		c.putLocked(key, v, bytes, tables)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return v, false, err
+}
+
+// The *At variants below are the MVCC-aware surface used by internal/db's
+// lock-free read path. Plain Do/Put/Get assume the caller excludes writers
+// for the whole lookup-compute-fill window (the pre-MVCC discipline); the
+// *At variants instead key every step on an explicitly captured version
+// vector — the versions the caller's snapshot pins — so they stay correct
+// with writers bumping versions concurrently at any point.
+
+// versionsAt captures verOf over the normalized table list.
+func versionsAt(norm []string, verOf func(string) uint64) []uint64 {
+	vers := make([]uint64, len(norm))
+	for i, t := range norm {
+		vers[i] = verOf(t)
+	}
+	return vers
+}
+
+// flightKeyAt builds the single-flight key for a computation pinned at a
+// version vector: two identical statements on different snapshots must NOT
+// collapse into one execution (they could legitimately need different
+// results), so the fingerprint is part of the key.
+func flightKeyAt(key string, vers []uint64) string {
+	var b strings.Builder
+	b.Grow(len(key) + 12*len(vers))
+	b.WriteString(key)
+	for _, v := range vers {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatUint(v, 36))
+	}
+	return b.String()
+}
+
+// matchesAt reports whether entry e was filled at exactly the given
+// normalized tables and versions.
+func matchesAt(e *entry, norm []string, vers []uint64) bool {
+	if len(e.tables) != len(norm) {
+		return false
+	}
+	for i, t := range e.tables {
+		if t != norm[i] || e.vers[i] != vers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// currentLocked reports whether the captured versions are still the cache's
+// current ones — i.e. no writer bumped any of the tables since the capture.
+func (c *Cache[V]) currentLocked(norm []string, vers []uint64) bool {
+	for i, t := range norm {
+		if c.vers[t] != vers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PeekAt reports whether key holds a value filled at exactly the versions
+// verOf captures (the caller's snapshot), without counting a hit or a miss
+// and without touching LRU order.
+func (c *Cache[V]) PeekAt(key string, tables []string, verOf func(string) uint64) (V, bool) {
+	norm := normTables(tables)
+	vers := versionsAt(norm, verOf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && matchesAt(e, norm, vers) {
+		return e.value.(V), true
+	}
+	var zero V
+	return zero, false
+}
+
+// PutAt admits a value computed against the versions verOf captures — but
+// only if those versions are still current, i.e. no writer published past
+// the caller's snapshot while the value was computed. A stale fill is
+// silently dropped: it is correct for its snapshot but must not shadow (or
+// be revived as) the newer state.
+func (c *Cache[V]) PutAt(key string, v V, bytes int64, tables []string, verOf func(string) uint64) {
+	norm := normTables(tables)
+	vers := versionsAt(norm, verOf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.currentLocked(norm, vers) {
+		return
+	}
+	c.putLocked(key, v, bytes, tables)
+}
+
+// DoAt is the snapshot-pinned single-flight read-through: the MVCC analogue
+// of Do. The caller's computation runs against a pinned snapshot whose
+// per-table versions verOf reports; DoAt serves a cached value only when it
+// was filled at exactly those versions, collapses concurrent identical
+// misses only when they pinned the same versions, and admits the computed
+// fill only when the versions are still current at fill time (a fill that
+// raced a writer is returned to its caller but not cached). compute runs
+// without any cache lock held and needs no external synchronization — the
+// snapshot it reads is immutable.
+func (c *Cache[V]) DoAt(key string, tables []string, verOf func(string) uint64, compute func() (V, int64, error)) (V, bool, error) {
+	norm := normTables(tables)
+	vers := versionsAt(norm, verOf)
+	fkey := flightKeyAt(key, vers)
+	c.mu.Lock()
+	if e := c.lookupLocked(key); e != nil && matchesAt(e, norm, vers) {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		v := e.value.(V)
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.flights[fkey]; ok {
+		c.collapsed++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	c.misses++
+	f := &flight[V]{done: make(chan struct{})}
+	c.flights[fkey] = f
+	c.mu.Unlock()
+
+	v, bytes, err := compute()
+	f.val, f.err = v, err
+
+	c.mu.Lock()
+	delete(c.flights, fkey)
+	if err == nil && c.currentLocked(norm, vers) {
 		c.putLocked(key, v, bytes, tables)
 	}
 	c.mu.Unlock()

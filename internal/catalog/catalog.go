@@ -194,3 +194,47 @@ func (c *Catalog) Names() []string {
 	sort.Strings(out)
 	return out
 }
+
+// Snapshot is an immutable point-in-time view of the catalog: a frozen
+// name→definition map taken in one O(tables) copy. Definitions themselves
+// are immutable after registration (ALTER does not exist), so the snapshot
+// shares them. Reads on a Snapshot take no lock and stay consistent with
+// each other no matter how the live catalog moves on.
+type Snapshot struct {
+	tables map[string]*TableDef
+}
+
+// Snapshot captures the current table set. O(tables).
+func (c *Catalog) Snapshot() *Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tables := make(map[string]*TableDef, len(c.tables))
+	for k, d := range c.tables {
+		tables[k] = d
+	}
+	return &Snapshot{tables: tables}
+}
+
+// Lookup returns the definition of name in this snapshot, or an error.
+func (s *Snapshot) Lookup(name string) (*TableDef, error) {
+	if d, ok := s.tables[strings.ToLower(name)]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("catalog: table %q does not exist", name)
+}
+
+// Has reports whether name exists in this snapshot.
+func (s *Snapshot) Has(name string) bool {
+	_, ok := s.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Names returns the snapshot's table names, sorted.
+func (s *Snapshot) Names() []string {
+	out := make([]string, 0, len(s.tables))
+	for _, d := range s.tables {
+		out = append(out, d.Name)
+	}
+	sort.Strings(out)
+	return out
+}

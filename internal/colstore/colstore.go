@@ -25,6 +25,14 @@
 // Frames are built lazily from storage.Table rows and cached alongside the
 // table's hash indexes, invalidated by the same generation counter (see
 // storage.Table.Columns).
+//
+// Under the MVCC regime a frame belongs to exactly one published table
+// version: versions are immutable once visible, so a frame, once built, is
+// itself immutable and may be shared freely by every snapshot that pins its
+// version — concurrent readers of the same version race only on the build
+// (serialized inside storage.Table.Columns), never on the contents. A
+// writer's draft starts with no frame; the frame for the successor version
+// is built lazily by whichever reader first needs it.
 package colstore
 
 import (

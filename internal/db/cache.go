@@ -2,7 +2,6 @@ package db
 
 import (
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
@@ -14,40 +13,35 @@ import (
 // an explicit budget (64 MiB of measured result bytes).
 const DefaultCacheBudget = 64 << 20
 
-// CacheEnvVar configures the result cache at db.New time:
-//
-//	RESULTDB_CACHE=on          enable with the default budget
-//	RESULTDB_CACHE=256MB       enable with a 256 MB budget (KB/MB/GB/KiB/...)
-//	RESULTDB_CACHE=1048576     enable with a byte budget
-//	RESULTDB_CACHE=off         disable (the default when unset)
-const CacheEnvVar = "RESULTDB_CACHE"
-
 // EnableCache switches the semantic result cache on with the given byte
-// budget (0 = DefaultCacheBudget). Safe to call at any time; entries survive
-// re-enabling but respect the new budget immediately.
+// budget (0 = DefaultCacheBudget). Entries survive re-enabling but respect
+// the new budget immediately.
+//
+// Deprecated: set Config.CacheEnabled/Config.CacheBudget at Open time.
+// EnableCache serializes against writers but not against in-flight reads.
 func (d *Database) EnableCache(budget int64) {
 	if budget <= 0 {
 		budget = DefaultCacheBudget
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.CoreOptions.ResultCache = true
-	d.CoreOptions.ResultCacheBudget = budget
-	d.resultCache.SetBudget(budget)
+	d.withWriter(func() {
+		d.CoreOptions.ResultCache = true
+		d.CoreOptions.ResultCacheBudget = budget
+		d.resultCache.SetBudget(budget)
+	})
 }
 
 // DisableCache switches the result cache off and drops all entries.
+//
+// Deprecated: configure the cache at Open time (Config.CacheEnabled).
 func (d *Database) DisableCache() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.CoreOptions.ResultCache = false
-	d.resultCache.Clear()
+	d.withWriter(func() {
+		d.CoreOptions.ResultCache = false
+		d.resultCache.Clear()
+	})
 }
 
 // CacheEnabled reports whether the result cache is on.
 func (d *Database) CacheEnabled() bool {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
 	return d.CoreOptions.ResultCache
 }
 
@@ -60,30 +54,6 @@ func (d *Database) CacheStats() cache.Stats {
 // pre-clear computations can never be revived stale).
 func (d *Database) ClearCache() {
 	d.resultCache.Clear()
-}
-
-// applyCacheEnv configures the cache from the RESULTDB_CACHE environment
-// variable; unset or unparsable values leave the cache off.
-func (d *Database) applyCacheEnv() {
-	v := strings.TrimSpace(os.Getenv(CacheEnvVar))
-	if v == "" {
-		return
-	}
-	switch strings.ToLower(v) {
-	case "off", "0", "false", "no":
-		return
-	case "on", "1", "true", "yes":
-		d.CoreOptions.ResultCache = true
-		d.CoreOptions.ResultCacheBudget = DefaultCacheBudget
-	default:
-		budget, err := ParseByteSize(v)
-		if err != nil || budget <= 0 {
-			return
-		}
-		d.CoreOptions.ResultCache = true
-		d.CoreOptions.ResultCacheBudget = budget
-	}
-	d.resultCache.SetBudget(d.CoreOptions.ResultCacheBudget)
 }
 
 // ParseByteSize parses "1048576", "64KB", "256MB", "2GB", "16MiB" (decimal
@@ -134,33 +104,35 @@ func ParseByteSize(s string) (int64, error) {
 // attachment differs between semi-join and Decompose) and the join-order
 // optimizer flag. Parallelism is deliberately excluded: results are
 // bit-identical at any degree.
-func (d *Database) cacheKey(sel *sqlparse.Select) string {
-	return fmt.Sprintf("s%d|dp%t|%s", d.Strategy, d.DPJoinOrder, sqlparse.Canonical(sel))
+func cacheKey(ec execCtx, sel *sqlparse.Select) string {
+	return fmt.Sprintf("s%d|dp%t|%s", ec.strategy, ec.dpJoinOrder, sqlparse.Canonical(sel))
 }
 
-// bumpTables advances the cache version counter of each named table. Called
-// with d.mu held for writing by every DML/DDL path, so no SELECT (which
-// holds the read lock across lookup and fill) can interleave.
-func (d *Database) bumpTables(names ...string) {
-	d.resultCache.Bump(names...)
-}
-
-// queryCachedLocked serves sel through the result cache: a fresh entry is
-// returned as-is, concurrent identical misses collapse into one execution
-// (single-flight), and a computed result is admitted with its measured wire
-// size. The caller holds d.mu.RLock, which excludes all DML/DDL for the
-// whole lookup-execute-fill window — the versions captured at miss time are
-// therefore still current at fill time, so a cached entry can never embed a
-// state older than its recorded versions.
+// queryCached serves sel through the result cache, keyed on the pinned
+// snapshot's table versions. Without the old statement-wide read lock, a
+// writer can publish a new version at any point of the lookup-execute-fill
+// window; the snapshot-versioned cache API (cache.DoAt) keeps every outcome
+// correct:
+//
+//   - A cached entry is served only if it was filled at exactly the
+//     versions this snapshot pins — a reader can never see a result newer
+//     (or older) than its snapshot.
+//   - Concurrent identical misses collapse into one execution only when
+//     they pinned the same versions (the single-flight key includes the
+//     version fingerprint), so a reader before and a reader after a commit
+//     never share a computation.
+//   - A computed fill is admitted only if the tables' versions are still
+//     current at fill time; a fill that raced a writer is returned to its
+//     caller (correct for its snapshot) but not cached.
 //
 // Cached *Result values are shared snapshots: callers must not mutate them
 // (the repo's surfaces — shell printing, wire encoding, PostJoin — only
 // read).
-func (d *Database) queryCachedLocked(sel *sqlparse.Select) (*Result, error) {
-	key := d.cacheKey(sel)
+func (d *Database) queryCached(ec execCtx, sel *sqlparse.Select) (*Result, error) {
+	key := cacheKey(ec, sel)
 	tables := sqlparse.Tables(sel)
-	res, _, err := d.resultCache.Do(key, tables, func() (*Result, int64, error) {
-		r, err := d.queryUncachedLocked(sel, nil)
+	res, _, err := d.resultCache.DoAt(key, tables, ec.snap.versionOf, func() (*Result, int64, error) {
+		r, err := d.queryUncached(ec, sel, nil)
 		if err != nil {
 			return nil, 0, err
 		}

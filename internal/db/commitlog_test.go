@@ -24,10 +24,10 @@ type fakeLog struct {
 	waitErr error
 }
 
-func (f *fakeLog) Append(stmts []string) (func() error, error) {
+func (f *fakeLog) Append(stmts []string) (uint64, func() error, error) {
 	cp := append([]string(nil), stmts...)
 	f.batches = append(f.batches, cp)
-	return func() error {
+	return uint64(len(f.batches)), func() error {
 		f.waits++
 		return f.waitErr
 	}, nil
@@ -143,7 +143,7 @@ func TestWritePathAllocFreeWhenOff(t *testing.T) {
 	}
 }
 
-func TestViewSeesCommittedState(t *testing.T) {
+func TestSnapshotSeesCommittedState(t *testing.T) {
 	d := New()
 	if _, err := d.ExecScript(`
 		CREATE TABLE t (id INTEGER PRIMARY KEY);
@@ -151,19 +151,23 @@ func TestViewSeesCommittedState(t *testing.T) {
 	`); err != nil {
 		t.Fatal(err)
 	}
-	ran := false
-	err := d.View(func() error {
-		ran = true
-		tbl, err := d.Table("t")
-		if err != nil {
-			return err
-		}
-		if len(tbl.Rows) != 2 {
-			t.Errorf("rows = %d", len(tbl.Rows))
-		}
-		return nil
-	})
-	if err != nil || !ran {
-		t.Fatalf("View: ran=%v err=%v", ran, err)
+	snap := d.Snapshot()
+	tbl, err := snap.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	// The snapshot is frozen: a later commit is invisible to it, and its LSN
+	// tracks the published commit position.
+	if _, err := d.Exec("INSERT INTO t VALUES (3)"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || snap.Seq() == d.Snapshot().Seq() {
+		t.Fatalf("snapshot moved: rows=%d seq=%d newest=%d", len(tbl.Rows), snap.Seq(), d.Snapshot().Seq())
+	}
+	if got, err := snap.Table("t"); err != nil || len(got.Rows) != 2 {
+		t.Fatalf("pinned read = %d rows, err %v; want 2", len(got.Rows), err)
 	}
 }

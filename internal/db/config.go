@@ -1,0 +1,218 @@
+package db
+
+import (
+	"os"
+	"strings"
+
+	"resultdb/internal/cache"
+	"resultdb/internal/catalog"
+	"resultdb/internal/core"
+	"resultdb/internal/parallel"
+	"resultdb/internal/stats"
+)
+
+// Config collects every construction-time knob of a Database in one value,
+// replacing the sprawl of ad-hoc setters (SetParallelism, SetVectorized,
+// SetCostBased, EnableCache, SetCommitLog) that grew with the engine. Build
+// one with DefaultConfig, optionally layer the RESULTDB_* environment over
+// it with FromEnv, adjust fields, and pass it to Open:
+//
+//	d := db.Open(db.DefaultConfig().FromEnv())
+//
+// db.New() is exactly that one-liner. The zero Config is usable but turns
+// everything off (serial, row-at-a-time, heuristic planning, no cache);
+// DefaultConfig is the paper-default starting point.
+//
+// The deprecated setters remain as thin wrappers for existing embedders,
+// with the same caveat they always had, now documented: they are not
+// synchronized against in-flight statements, so call them at setup time or
+// between statements.
+type Config struct {
+	// Strategy selects the SELECT RESULTDB execution strategy
+	// (StrategySemiJoin, the paper's Algorithm 4, is the default).
+	Strategy Strategy
+	// Parallelism is the intra-query parallelism degree: 0 = auto
+	// (RESULTDB_PARALLELISM, else GOMAXPROCS), 1 = serial, n > 1 = n
+	// workers. Results are identical at any degree.
+	Parallelism int
+	// Vectorized runs execution on the colstore columnar path. Results are
+	// bit-identical to the row path; only speed differs.
+	Vectorized bool
+	// CostBased switches planning to the statistics-driven cost model.
+	// Results are byte-identical to the heuristic plan; only speed differs.
+	CostBased bool
+	// DPJoinOrder enables the DPsize join-order optimizer for single-table
+	// plans (default: greedy live-cardinality ordering).
+	DPJoinOrder bool
+	// CacheEnabled turns the semantic result cache on.
+	CacheEnabled bool
+	// CacheBudget is the result cache's byte budget (0 = DefaultCacheBudget).
+	// Meaningful only with CacheEnabled.
+	CacheBudget int64
+	// CommitLog, when non-nil, is installed as the durability hook (the
+	// equivalent of SetCommitLog at construction time). internal/durable
+	// installs its manager itself after recovery, so most callers leave
+	// this nil.
+	CommitLog CommitLog
+}
+
+// Environment variables read by Config.FromEnv (and therefore by db.New).
+// All RESULTDB_* parsing lives in this file.
+const (
+	// CacheEnvVar configures the result cache:
+	//
+	//	RESULTDB_CACHE=on          enable with the default budget
+	//	RESULTDB_CACHE=256MB       enable with a 256 MB budget (KB/MB/GB/KiB/...)
+	//	RESULTDB_CACHE=1048576     enable with a byte budget
+	//	RESULTDB_CACHE=off         disable (the default when unset)
+	CacheEnvVar = "RESULTDB_CACHE"
+
+	// VecEnvVar toggles the vectorized (colstore) execution path:
+	// "off"/"0"/"false"/"no" falls back to the row-at-a-time path, anything
+	// else (or unset) keeps the default (on). Results are bit-identical
+	// either way; the variable exists for A/B benchmarking and as an escape
+	// hatch.
+	VecEnvVar = "RESULTDB_VECTORIZED"
+
+	// StatsEnvVar toggles cost-based planning: "on"/"1"/"true"/"yes"
+	// enables the statistics-driven planner (root choice, semi-join order,
+	// adaptive Bloom prefilters, sideways information passing, and join
+	// order), "off" and friends force the paper's heuristics. Results are
+	// byte-identical either way; only the plan — and therefore speed —
+	// differs.
+	StatsEnvVar = "RESULTDB_STATS"
+
+	// ParallelismEnvVar overrides the auto parallelism degree; it is also
+	// honored lazily by internal/parallel when Parallelism is left at 0.
+	ParallelismEnvVar = parallel.EnvVar
+)
+
+// DefaultConfig returns the paper-default configuration: semi-join strategy,
+// auto parallelism, vectorized execution, heuristic planning, cache off.
+func DefaultConfig() Config {
+	opts := core.DefaultOptions()
+	return Config{
+		Strategy:    StrategySemiJoin,
+		Parallelism: opts.Parallelism,
+		Vectorized:  opts.Vectorized,
+		CostBased:   opts.CostBased,
+		CacheBudget: DefaultCacheBudget,
+	}
+}
+
+// FromEnv returns a copy of c with the RESULTDB_* environment variables
+// applied on top: RESULTDB_CACHE, RESULTDB_VECTORIZED, RESULTDB_STATS, and
+// RESULTDB_PARALLELISM. Unset or unparsable variables leave the receiver's
+// values untouched.
+func (c Config) FromEnv() Config {
+	switch envToggle(CacheEnvVar) {
+	case envOn:
+		c.CacheEnabled = true
+		c.CacheBudget = DefaultCacheBudget
+	case envOff:
+		c.CacheEnabled = false
+	case envOther:
+		if budget, err := ParseByteSize(os.Getenv(CacheEnvVar)); err == nil && budget > 0 {
+			c.CacheEnabled = true
+			c.CacheBudget = budget
+		}
+	}
+	switch envToggle(VecEnvVar) {
+	case envOn:
+		c.Vectorized = true
+	case envOff:
+		c.Vectorized = false
+	}
+	switch envToggle(StatsEnvVar) {
+	case envOn:
+		c.CostBased = true
+	case envOff:
+		c.CostBased = false
+	}
+	if p := parallel.EnvDegree(); p > 0 && c.Parallelism == 0 {
+		c.Parallelism = p
+	}
+	return c
+}
+
+type envState uint8
+
+const (
+	envUnset envState = iota
+	envOn
+	envOff
+	envOther
+)
+
+// envToggle classifies a boolean-ish environment variable.
+func envToggle(name string) envState {
+	switch strings.ToLower(strings.TrimSpace(os.Getenv(name))) {
+	case "":
+		return envUnset
+	case "on", "1", "true", "yes":
+		return envOn
+	case "off", "0", "false", "no":
+		return envOff
+	default:
+		return envOther
+	}
+}
+
+// Open constructs a Database from a Config. This is the one construction
+// path; New is Open over DefaultConfig().FromEnv().
+func Open(cfg Config) *Database {
+	d := &Database{
+		cat:         catalog.New(),
+		Strategy:    cfg.Strategy,
+		CoreOptions: core.DefaultOptions(),
+		resultCache: cache.New[*Result](DefaultCacheBudget),
+		statsCache:  stats.NewCache(),
+		DPJoinOrder: cfg.DPJoinOrder,
+		commitLog:   cfg.CommitLog,
+	}
+	d.state.Store(emptyState())
+	d.CoreOptions.Parallelism = cfg.Parallelism
+	d.CoreOptions.Vectorized = cfg.Vectorized
+	d.CoreOptions.CostBased = cfg.CostBased
+	if cfg.CacheEnabled {
+		budget := cfg.CacheBudget
+		if budget <= 0 {
+			budget = DefaultCacheBudget
+		}
+		d.CoreOptions.ResultCache = true
+		d.CoreOptions.ResultCacheBudget = budget
+		d.resultCache.SetBudget(budget)
+	}
+	return d
+}
+
+// New returns an empty database with the paper-default RESULTDB options,
+// honoring the RESULTDB_* environment variables (see Config.FromEnv).
+func New() *Database {
+	return Open(DefaultConfig().FromEnv())
+}
+
+// SetParallelism sets the degree of intra-query parallelism used by joins,
+// filters, semi-join reduction, and Decompose.
+//
+// Deprecated: set Config.Parallelism at Open time (or Session.CoreOptions
+// per connection). Not synchronized against in-flight statements.
+func (d *Database) SetParallelism(p int) { d.CoreOptions.Parallelism = p }
+
+// SetVectorized toggles the vectorized (colstore) execution path. Results
+// are bit-identical to the row path.
+//
+// Deprecated: set Config.Vectorized at Open time (or Session.CoreOptions
+// per connection). Not synchronized against in-flight statements.
+func (d *Database) SetVectorized(on bool) { d.CoreOptions.Vectorized = on }
+
+// SetCostBased toggles cost-based planning (see StatsEnvVar). Statistics are
+// built lazily per table on first use and cached until the table changes;
+// ANALYZE pre-builds them eagerly.
+//
+// Deprecated: set Config.CostBased at Open time (or Session.CoreOptions per
+// connection). Not synchronized against in-flight statements.
+func (d *Database) SetCostBased(on bool) { d.CoreOptions.CostBased = on }
+
+// CostBased reports whether cost-based planning is enabled.
+func (d *Database) CostBased() bool { return d.CoreOptions.CostBased }

@@ -7,9 +7,9 @@ package db
 
 import (
 	"fmt"
-	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"resultdb/internal/cache"
 	"resultdb/internal/catalog"
@@ -48,16 +48,39 @@ const (
 	ModeRDBRP
 )
 
-// Database is a main-memory relational database. All exported methods are
-// safe for concurrent use: statements take a coarse read or write lock, so
-// every statement sees a committed state. BEGIN/COMMIT group statements
-// syntactically (the engine is single-writer; snapshot isolation across a
-// transaction's statements is trivially satisfied in the single-threaded
-// benchmark harnesses and is not otherwise enforced).
+// Database is a main-memory relational database with multiversioned
+// (copy-on-write) storage. Reads and writes are safe for concurrent use and
+// never block each other:
+//
+//   - Every read entry point (Query, QueryWithTrace, ExecStream, EXPLAIN,
+//     ANALYZE) pins an immutable published state with one atomic load
+//     (Snapshot) and then executes, fills caches, traces, and wire-encodes
+//     entirely lock-free. A reader always sees some committed state — never
+//     a half-applied batch — no matter how many writers race it.
+//   - Mutation statements serialize on the writer lock, apply their batch to
+//     copy-on-write drafts, append to the commit log (when installed), and
+//     publish the successor state with one atomic store. A failed batch
+//     publishes nothing.
+//
+// BEGIN/COMMIT group statements syntactically (the engine is single-writer;
+// each mutation statement is its own atomic commit).
+//
+// The exported configuration fields (Strategy, CoreOptions, DPJoinOrder) and
+// the setters over them are read at statement start without synchronization:
+// configure at Open time or between statements. Per-connection settings
+// belong on a Session, which carries its own copies.
 type Database struct {
-	mu     sync.RWMutex
-	cat    *catalog.Catalog
-	tables map[string]*storage.Table
+	// mu is the writer lock: it serializes mutation batches (DML/DDL) and
+	// the commit-log appends that order them. Readers never take it. All
+	// uses of mu live in this file — verify.sh lints against new d.mu
+	// references elsewhere in the package.
+	mu sync.Mutex
+
+	// state is the current published dbState (see state.go). Written only
+	// under mu; read with one atomic load by everyone else.
+	state atomic.Pointer[dbState]
+
+	cat *catalog.Catalog
 
 	// resultCache is the semantic query-result cache (internal/cache): a
 	// byte-budgeted LRU keyed by the canonical statement fingerprint and
@@ -67,21 +90,22 @@ type Database struct {
 	resultCache *cache.Cache[*Result]
 
 	// statsCache lazily builds and caches per-table optimizer statistics
-	// (internal/stats), invalidated by the tables' generation counters. It
-	// backs ANALYZE and the cost-based planner (CoreOptions.CostBased).
+	// (internal/stats), keyed by table-version pointer. It backs ANALYZE and
+	// the cost-based planner (CoreOptions.CostBased). Writers Forget
+	// superseded versions at publish time.
 	statsCache *stats.Cache
 
 	// planVerdicts memoizes, per query, whether cost-based planning
 	// diverged from the heuristic plan (see plancache.go). Guarded by its
-	// own mutex because queries run under d.mu.RLock concurrently.
+	// own mutex because concurrent lock-free readers share it.
 	planMu       sync.Mutex
 	planVerdicts map[string]planVerdict
 	planKeys     map[*sqlparse.Select]planKeyMemo
 
 	// commitLog, when set, records every successful mutation statement
-	// before it is acknowledged (see CommitLog). Nil when durability is
-	// off — the write path then pays one nil check and nothing else, and
-	// SELECT-only traffic never touches it at all.
+	// before it is published or acknowledged (see CommitLog). Nil when
+	// durability is off — the write path then pays one nil check and nothing
+	// else, and SELECT-only traffic never touches it at all.
 	commitLog CommitLog
 
 	// Strategy and CoreOptions configure RESULTDB execution.
@@ -93,14 +117,17 @@ type Database struct {
 }
 
 // CommitLog is the durability hook on the write path (implemented by
-// internal/durable). Append is called with the database write lock held and
-// only after the statements applied successfully, so append order is exactly
-// apply order. It returns a wait function making the batch durable; the
-// database invokes it after releasing the lock, so concurrent committers'
-// fsync waits overlap (group commit) instead of serializing behind the lock.
-// A nil wait means the batch is already durable.
+// internal/durable). Append is called with the database writer lock held,
+// after the statements applied cleanly to unpublished drafts and before the
+// new state is published — so append order is exactly publish order, and a
+// state readers can see is never ahead of the log. It returns the LSN
+// assigned to the batch (stamped into the published state, pairing every
+// snapshot with the exact log position it covers) and a wait function making
+// the batch durable; the database invokes wait after releasing the lock, so
+// concurrent committers' fsync waits overlap (group commit) instead of
+// serializing behind the lock. A nil wait means the batch is already durable.
 type CommitLog interface {
-	Append(stmts []string) (wait func() error, err error)
+	Append(stmts []string) (lsn uint64, wait func() error, err error)
 }
 
 // SetCommitLog installs (or, with nil, removes) the durability hook. Call
@@ -111,64 +138,76 @@ func (d *Database) SetCommitLog(l CommitLog) {
 	d.commitLog = l
 }
 
-// View runs fn under the database read lock: a stable snapshot against
-// concurrent DML, used by the checkpointer to pair a consistent dump with
-// the WAL position it covers.
-func (d *Database) View(fn func() error) error {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return fn()
+// SetRecoveredLSN stamps the current state with the WAL position it was
+// recovered to, so snapshots (and the checkpoints taken from them) pair the
+// state with the right log position from the first post-recovery commit on.
+// Called by the durability subsystem after replay, before serving traffic.
+func (d *Database) SetRecoveredLSN(lsn uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.state.Load()
+	d.state.Store(&dbState{tables: st.tables, vers: st.vers, seq: st.seq, lsn: lsn})
 }
 
-// New returns an empty database with the paper-default RESULTDB options. The
-// semantic result cache starts disabled unless the RESULTDB_CACHE
-// environment variable turns it on (see CacheEnvVar).
-func New() *Database {
-	d := &Database{
-		cat:         catalog.New(),
-		tables:      make(map[string]*storage.Table),
-		Strategy:    StrategySemiJoin,
-		CoreOptions: core.DefaultOptions(),
-		resultCache: cache.New[*Result](DefaultCacheBudget),
-		statsCache:  stats.NewCache(),
+// withWriter runs fn under the writer lock. It exists so sibling files can
+// serialize configuration changes against the write path without referencing
+// d.mu directly (which verify.sh lints against outside this file).
+func (d *Database) withWriter(fn func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fn()
+}
+
+// execCtx is everything one read statement needs, captured once at entry:
+// the pinned snapshot plus the execution options in effect when it started.
+// Capturing options alongside the snapshot keeps a statement internally
+// consistent and lets a Session substitute per-session options without
+// touching the database's.
+type execCtx struct {
+	// src resolves table names: the pinned Snapshot on read paths, the
+	// writeTxn for statements that read while mutating (CREATE MATERIALIZED
+	// VIEW ... AS SELECT runs inside the writer's transaction).
+	src engine.Source
+	// snap is the pinned snapshot; non-nil exactly on read paths. The
+	// result cache keys fills on its versions, and traces annotate with its
+	// commit position.
+	snap        *Snapshot
+	opts        core.Options
+	strategy    Strategy
+	dpJoinOrder bool
+}
+
+// readCtx pins the newest committed state and captures the database-level
+// options for one read statement.
+func (d *Database) readCtx() execCtx {
+	snap := d.Snapshot()
+	return execCtx{
+		src:         snap,
+		snap:        snap,
+		opts:        d.CoreOptions,
+		strategy:    d.Strategy,
+		dpJoinOrder: d.DPJoinOrder,
 	}
-	d.applyCacheEnv()
-	d.applyVecEnv()
-	d.applyStatsEnv()
-	return d
 }
 
-// StatsEnvVar toggles cost-based planning at db.New time: "on"/"1"/"true"/
-// "yes" enables the statistics-driven planner (root choice, semi-join order,
-// adaptive Bloom prefilters, sideways information passing, and join order),
-// "off" and friends force the paper's heuristics. Results are byte-identical
-// either way; only the plan — and therefore speed — differs.
-const StatsEnvVar = "RESULTDB_STATS"
-
-// applyStatsEnv configures cost-based planning from RESULTDB_STATS.
-func (d *Database) applyStatsEnv() {
-	switch strings.ToLower(strings.TrimSpace(os.Getenv(StatsEnvVar))) {
-	case "off", "0", "false", "no":
-		d.CoreOptions.CostBased = false
-	case "on", "1", "true", "yes":
-		d.CoreOptions.CostBased = true
+// txnCtx builds the execution context for reads running inside a write
+// transaction (materialized-view fills): tables resolve through the txn so
+// the statement sees its own batch, and no snapshot is pinned (the cache is
+// bypassed — its entries must only ever hold committed states).
+func (d *Database) txnCtx(tx *writeTxn) execCtx {
+	return execCtx{
+		src:         tx,
+		opts:        d.CoreOptions,
+		strategy:    d.Strategy,
+		dpJoinOrder: d.DPJoinOrder,
 	}
 }
 
-// SetCostBased toggles cost-based planning (see StatsEnvVar). Statistics are
-// built lazily per table on first use and cached until the table changes;
-// ANALYZE pre-builds them eagerly.
-func (d *Database) SetCostBased(on bool) { d.CoreOptions.CostBased = on }
-
-// CostBased reports whether cost-based planning is enabled.
-func (d *Database) CostBased() bool { return d.CoreOptions.CostBased }
-
-// TableStats returns the (cached, generation-checked) statistics for a table,
-// or nil if the table does not exist. Exported for the shell's \stats command.
+// TableStats returns the (cached, version-checked) statistics for a table,
+// or nil if the table does not exist. Exported for the shell's \stats
+// command.
 func (d *Database) TableStats(name string) *stats.Table {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	t, err := d.Table(name)
+	t, err := d.Snapshot().Table(name)
 	if err != nil {
 		return nil
 	}
@@ -177,14 +216,13 @@ func (d *Database) TableStats(name string) *stats.Table {
 
 // execAnalyze implements ANALYZE [table]: eagerly (re)build statistics for
 // one table or all tables. It is a read-only statement — statistics are a
-// cache over committed data, so it takes the read lock and is neither logged
-// to the WAL nor a cache-invalidating mutation. Affected reports the number
-// of tables analyzed.
+// cache over committed data, so it runs against a snapshot and is neither
+// logged to the WAL nor a cache-invalidating mutation. Affected reports the
+// number of tables analyzed.
 func (d *Database) execAnalyze(s *sqlparse.Analyze) (*Result, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	snap := d.Snapshot()
 	if s.Table != "" {
-		t, err := d.Table(s.Table)
+		t, err := snap.Table(s.Table)
 		if err != nil {
 			return nil, err
 		}
@@ -192,28 +230,13 @@ func (d *Database) execAnalyze(s *sqlparse.Analyze) (*Result, error) {
 		return &Result{Affected: 1}, nil
 	}
 	n := 0
-	for _, t := range d.tables {
-		d.statsCache.Of(t)
-		n++
+	for _, name := range snap.TableNames() {
+		if t, err := snap.Table(name); err == nil {
+			d.statsCache.Of(t)
+			n++
+		}
 	}
 	return &Result{Affected: n}, nil
-}
-
-// VecEnvVar toggles the vectorized (colstore) execution path at db.New time:
-// "off"/"0"/"false"/"no" falls back to the row-at-a-time path, anything else
-// (or unset) keeps the default from core.DefaultOptions (on). Results are
-// bit-identical either way; the variable exists for A/B benchmarking and as
-// an escape hatch.
-const VecEnvVar = "RESULTDB_VECTORIZED"
-
-// applyVecEnv configures vectorized execution from RESULTDB_VECTORIZED.
-func (d *Database) applyVecEnv() {
-	switch strings.ToLower(strings.TrimSpace(os.Getenv(VecEnvVar))) {
-	case "off", "0", "false", "no":
-		d.CoreOptions.Vectorized = false
-	case "on", "1", "true", "yes":
-		d.CoreOptions.Vectorized = true
-	}
 }
 
 // ResultSet is one cursor of a result: the minimally invasive API extension
@@ -287,16 +310,18 @@ func (r *Result) WireSize() int {
 	return n
 }
 
-// executor builds an engine executor honoring the database's settings.
-func (d *Database) executor() *engine.Executor {
+// executorWith builds an engine executor resolving tables through src and
+// honoring the context's options, with an optional tracer (nil = disabled).
+func (d *Database) executorWith(src engine.Source, ec execCtx, tr *trace.Tracer) *engine.Executor {
 	return &engine.Executor{
-		Src:         d,
-		DPJoinOrder: d.DPJoinOrder,
-		Parallelism: d.CoreOptions.Parallelism,
-		Vectorized:  d.CoreOptions.Vectorized,
-		CostBased:   d.CoreOptions.CostBased,
+		Src:         src,
+		DPJoinOrder: ec.dpJoinOrder,
+		Parallelism: ec.opts.Parallelism,
+		Vectorized:  ec.opts.Vectorized,
+		CostBased:   ec.opts.CostBased,
+		Tracer:      tr,
 		StatsOf: func(table string) *stats.Table {
-			t, err := d.Table(table)
+			t, err := src.Table(table)
 			if err != nil {
 				return nil
 			}
@@ -305,54 +330,41 @@ func (d *Database) executor() *engine.Executor {
 	}
 }
 
-// executorTraced is executor with an optional tracer attached (nil =
-// disabled, identical to executor()).
-func (d *Database) executorTraced(tr *trace.Tracer) *engine.Executor {
-	ex := d.executor()
-	ex.Tracer = tr
-	return ex
+// executor builds an engine executor for the context's own source.
+func (d *Database) executor(ec execCtx, tr *trace.Tracer) *engine.Executor {
+	return d.executorWith(ec.src, ec, tr)
 }
 
-// SetParallelism sets the degree of intra-query parallelism used by joins,
-// filters, semi-join reduction, and Decompose: 0 = auto (the
-// RESULTDB_PARALLELISM environment variable, else GOMAXPROCS), 1 = serial,
-// n > 1 = n workers. Results are identical at any degree.
-func (d *Database) SetParallelism(p int) { d.CoreOptions.Parallelism = p }
-
-// SetVectorized toggles the vectorized (colstore) execution path for scans,
-// joins, semi-join reduction, the Bloom prefilter, and Decompose. Results are
-// bit-identical to the row path; only speed and the `vectorized` trace
-// annotation differ.
-func (d *Database) SetVectorized(on bool) { d.CoreOptions.Vectorized = on }
-
-// Table implements engine.Source.
+// Table resolves a table in the newest committed state (engine.Source).
+// Concurrency-sensitive callers resolve through a pinned Snapshot instead;
+// Database-level resolution exists for single-threaded embedders and the
+// bulk-load paths that fill tables before serving traffic.
 func (d *Database) Table(name string) (*storage.Table, error) {
-	if t, ok := d.tables[strings.ToLower(name)]; ok {
-		return t, nil
-	}
-	return nil, fmt.Errorf("db: table %q does not exist", name)
+	return d.Snapshot().Table(name)
+}
+
+// TableNames lists the newest committed state's tables, sorted
+// (snapshot.Source).
+func (d *Database) TableNames() []string {
+	return d.Snapshot().TableNames()
 }
 
 // Catalog exposes the schema catalog (read-only use).
 func (d *Database) Catalog() *catalog.Catalog { return d.cat }
 
 // CreateTable registers a new table from a definition; used by workload
-// generators that bypass SQL for bulk loading.
+// generators that bypass SQL for bulk loading. The returned table is the
+// published version: generators may fill it directly only before the
+// database serves concurrent traffic.
 func (d *Database) CreateTable(def *catalog.TableDef) (*storage.Table, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.createTableLocked(def)
-}
-
-func (d *Database) createTableLocked(def *catalog.TableDef) (*storage.Table, error) {
-	if err := d.cat.Create(def); err != nil {
+	tx := d.newWriteTxn()
+	t, err := tx.create(def)
+	if err != nil {
 		return nil, err
 	}
-	t := storage.NewTable(def)
-	d.tables[strings.ToLower(def.Name)] = t
-	// A re-created table is a different table: any cached result computed
-	// against a previous incarnation (e.g. before a DROP) must not survive.
-	d.bumpTables(def.Name)
+	tx.commit(0)
 	return t, nil
 }
 
@@ -414,9 +426,9 @@ func (d *Database) ExecStatement(st sqlparse.Statement) (res *Result, err error)
 
 // execMutation applies one DML/DDL statement and, when a commit log is
 // installed, records it and waits for durability before acknowledging. The
-// apply and the log append happen under one write-lock hold — log order is
-// apply order — while the durability wait runs after unlock so concurrent
-// commits share fsyncs.
+// apply, the log append, and the publish happen under one writer-lock hold —
+// log order is publish order — while the durability wait runs after unlock
+// so concurrent commits share fsyncs.
 func (d *Database) execMutation(st sqlparse.Statement) (*Result, error) {
 	res, wait, err := d.applyAndLog(st)
 	if err != nil {
@@ -424,46 +436,58 @@ func (d *Database) execMutation(st sqlparse.Statement) (*Result, error) {
 	}
 	if wait != nil {
 		if werr := wait(); werr != nil {
-			// Not durable ⇒ not acknowledged. In-memory state is ahead of
-			// the log at this point; the owner should stop serving (a real
-			// disk death is fatal anyway), and recovery will simply not
-			// include this unacknowledged batch.
+			// Not durable ⇒ not acknowledged. The batch is published (readers
+			// may see it) but was never acknowledged; the owner should stop
+			// serving (a real disk death is fatal anyway), and recovery will
+			// simply not include this unacknowledged batch.
 			return nil, fmt.Errorf("db: commit not durable: %w", werr)
 		}
 	}
 	return res, nil
 }
 
+// applyAndLog runs one mutation batch through the copy-on-write protocol:
+// derive drafts from the current state, apply, append to the commit log,
+// publish. A failed apply or append publishes nothing — readers can never
+// observe a half-applied statement, and the in-memory state never runs
+// ahead of a log that could not record it.
 func (d *Database) applyAndLog(st sqlparse.Statement) (*Result, func() error, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	tx := d.newWriteTxn()
 	var res *Result
 	var err error
 	switch s := st.(type) {
 	case *sqlparse.CreateTable:
-		res, err = d.execCreateTableLocked(s)
+		res, err = execCreateTable(tx, s)
 	case *sqlparse.DropTable:
-		res, err = d.execDropLocked(s.Name, s.IfExists, false)
+		res, err = d.execDrop(tx, s.Name, s.IfExists, false)
 	case *sqlparse.CreateMaterializedView:
-		res, err = d.execCreateMatViewLocked(s)
+		res, err = d.execCreateMatView(tx, s)
 	case *sqlparse.DropMaterializedView:
-		res, err = d.execDropLocked(s.Name, s.IfExists, true)
+		res, err = d.execDrop(tx, s.Name, s.IfExists, true)
 	case *sqlparse.Insert:
-		res, err = d.execInsertLocked(s)
+		res, err = execInsert(tx, s)
 	default:
 		err = fmt.Errorf("db: unsupported mutation %T", st)
 	}
-	if err != nil || d.commitLog == nil {
-		return res, nil, err
+	if err != nil {
+		return nil, nil, err
 	}
-	wait, lerr := d.commitLog.Append([]string{st.SQL()})
-	if lerr != nil {
-		return nil, nil, fmt.Errorf("db: commit log append: %w", lerr)
+	var lsn uint64
+	var wait func() error
+	if d.commitLog != nil {
+		var lerr error
+		lsn, wait, lerr = d.commitLog.Append([]string{st.SQL()})
+		if lerr != nil {
+			return nil, nil, fmt.Errorf("db: commit log append: %w", lerr)
+		}
 	}
+	tx.commit(lsn)
 	return res, wait, nil
 }
 
-func (d *Database) execCreateTableLocked(s *sqlparse.CreateTable) (*Result, error) {
+func execCreateTable(tx *writeTxn, s *sqlparse.CreateTable) (*Result, error) {
 	cols := make([]catalog.Column, len(s.Columns))
 	for i, c := range s.Columns {
 		cols[i] = catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
@@ -478,13 +502,13 @@ func (d *Database) execCreateTableLocked(s *sqlparse.CreateTable) (*Result, erro
 			Columns: fk.Columns, RefTable: fk.RefTable, RefColumns: fk.RefColumns,
 		})
 	}
-	if _, err := d.createTableLocked(def); err != nil {
+	if _, err := tx.create(def); err != nil {
 		return nil, err
 	}
 	return &Result{}, nil
 }
 
-func (d *Database) execDropLocked(name string, ifExists, mustBeView bool) (*Result, error) {
+func (d *Database) execDrop(tx *writeTxn, name string, ifExists, mustBeView bool) (*Result, error) {
 	def, err := d.cat.Lookup(name)
 	if err != nil {
 		if ifExists {
@@ -498,19 +522,12 @@ func (d *Database) execDropLocked(name string, ifExists, mustBeView bool) (*Resu
 	if !mustBeView && def.IsView {
 		return nil, fmt.Errorf("db: %q is a materialized view; use DROP MATERIALIZED VIEW", name)
 	}
-	if err := d.cat.Drop(name); err != nil {
-		return nil, err
-	}
-	if t, ok := d.tables[strings.ToLower(name)]; ok {
-		d.statsCache.Forget(t)
-	}
-	delete(d.tables, strings.ToLower(name))
-	d.bumpTables(name)
+	tx.drop(name)
 	return &Result{}, nil
 }
 
-func (d *Database) execInsertLocked(s *sqlparse.Insert) (*Result, error) {
-	t, err := d.Table(s.Table)
+func execInsert(tx *writeTxn, s *sqlparse.Insert) (*Result, error) {
+	t, err := tx.draft(s.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -550,9 +567,6 @@ func (d *Database) execInsertLocked(s *sqlparse.Insert) (*Result, error) {
 		}
 		n++
 	}
-	if n > 0 {
-		d.bumpTables(s.Table)
-	}
 	return &Result{Affected: n}, nil
 }
 
@@ -578,11 +592,12 @@ func evalConst(e sqlparse.Expr) (types.Value, error) {
 	return types.Value{}, fmt.Errorf("db: INSERT values must be literals, got %q", e.SQL())
 }
 
-func (d *Database) execCreateMatViewLocked(s *sqlparse.CreateMaterializedView) (*Result, error) {
+func (d *Database) execCreateMatView(tx *writeTxn, s *sqlparse.CreateMaterializedView) (*Result, error) {
 	if s.Query.ResultDB {
-		return d.createResultDBView(s)
+		return d.createResultDBView(tx, s)
 	}
-	ex := d.executor()
+	ec := d.txnCtx(tx)
+	ex := d.executor(ec, nil)
 	rel, err := ex.Select(s.Query)
 	if err != nil {
 		return nil, err
@@ -603,7 +618,7 @@ func (d *Database) execCreateMatViewLocked(s *sqlparse.CreateMaterializedView) (
 		return nil, err
 	}
 	def.IsView = true
-	t, err := d.createTableLocked(def)
+	t, err := tx.create(def)
 	if err != nil {
 		return nil, err
 	}
@@ -613,8 +628,10 @@ func (d *Database) execCreateMatViewLocked(s *sqlparse.CreateMaterializedView) (
 
 // createResultDBView materializes a subdatabase view (use case 2 of the
 // paper): one materialized view per output relation, named <view>_<alias>.
-func (d *Database) createResultDBView(s *sqlparse.CreateMaterializedView) (*Result, error) {
-	res, err := d.queryResultDBLocked(s.Query, ModeRDBRP, nil, nil)
+// The defining query runs inside the write transaction, so it sees the state
+// the view is created against.
+func (d *Database) createResultDBView(tx *writeTxn, s *sqlparse.CreateMaterializedView) (*Result, error) {
+	res, err := d.queryResultDBAt(d.txnCtx(tx), s.Query, ModeRDBRP, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -625,7 +642,7 @@ func (d *Database) createResultDBView(s *sqlparse.CreateMaterializedView) (*Resu
 			return nil, err
 		}
 		def.IsView = true
-		t, err := d.createTableLocked(def)
+		t, err := tx.create(def)
 		if err != nil {
 			return nil, err
 		}

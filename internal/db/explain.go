@@ -17,17 +17,24 @@ import (
 //     per step with actual cardinalities, no timings).
 //   - EXPLAIN ANALYZE prints the annotated operator tree: spans grouped by
 //     phase with rows in/out, key counts, transfer bytes, and (in trailing
-//     brackets that tooling may strip) wall times, parallel degrees, and
-//     morsel counts.
+//     brackets that tooling may strip) wall times, parallel degrees, morsel
+//     counts, and the pinned snapshot's commit position.
 //
 // For RESULTDB queries the plan reports the join-graph analysis, folds, root
 // choice, and the semi-join schedule of Algorithm 4.
 func (d *Database) execExplain(ex *sqlparse.Explain) (*Result, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	return d.execExplainAt(d.readCtx(), ex)
+}
+
+// execExplainAt is execExplain against an explicit execution context
+// (sessions pass their pinned view and private options).
+func (d *Database) execExplainAt(ec execCtx, ex *sqlparse.Explain) (*Result, error) {
 	tr := trace.New(ex.Query.SQL())
-	tr.SetParallelism(parallel.Degree(d.CoreOptions.Parallelism))
-	if _, err := d.queryLocked(ex.Query, tr); err != nil {
+	tr.SetParallelism(parallel.Degree(ec.opts.Parallelism))
+	if ec.snap != nil {
+		tr.SetSnapshot(ec.snap.Seq(), ec.snap.LSN())
+	}
+	if _, err := d.query(ec, ex.Query, tr); err != nil {
 		return nil, err
 	}
 	snap := tr.Finish()

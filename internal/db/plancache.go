@@ -101,9 +101,11 @@ func modeKeySuffix(mode Mode) string {
 }
 
 // planConfirmedHeuristic reports whether a previous cost-based execution of
-// key recorded a non-diverged plan that is still valid for the current
-// table generations.
-func (d *Database) planConfirmedHeuristic(key string, spec *engine.SPJSpec) bool {
+// key recorded a non-diverged plan that is still valid for the table
+// versions src resolves (the reader's snapshot, or a write transaction).
+// Under MVCC the pointer comparison does the heavy lifting: a published
+// version is immutable, so matching pointers means matching statistics.
+func (d *Database) planConfirmedHeuristic(src engine.Source, key string, spec *engine.SPJSpec) bool {
 	d.planMu.Lock()
 	v, ok := d.planVerdicts[key]
 	d.planMu.Unlock()
@@ -111,7 +113,7 @@ func (d *Database) planConfirmedHeuristic(key string, spec *engine.SPJSpec) bool
 		return false
 	}
 	for i, r := range spec.Rels {
-		t, err := d.Table(r.Table)
+		t, err := src.Table(r.Table)
 		if err != nil || t != v.tables[i] || t.Generation() != v.gens[i] || t.Len() != v.rows[i] {
 			return false
 		}
@@ -120,8 +122,9 @@ func (d *Database) planConfirmedHeuristic(key string, spec *engine.SPJSpec) bool
 }
 
 // recordPlanVerdict stores the divergence verdict of a completed cost-based
-// execution, fingerprinted by the involved tables' current generations.
-func (d *Database) recordPlanVerdict(key string, spec *engine.SPJSpec, diverged bool) {
+// execution, fingerprinted by the involved table versions it planned
+// against.
+func (d *Database) recordPlanVerdict(src engine.Source, key string, spec *engine.SPJSpec, diverged bool) {
 	v := planVerdict{
 		tables:   make([]*storage.Table, 0, len(spec.Rels)),
 		gens:     make([]uint64, 0, len(spec.Rels)),
@@ -129,7 +132,7 @@ func (d *Database) recordPlanVerdict(key string, spec *engine.SPJSpec, diverged 
 		diverged: diverged,
 	}
 	for _, r := range spec.Rels {
-		t, err := d.Table(r.Table)
+		t, err := src.Table(r.Table)
 		if err != nil {
 			// A table vanished mid-flight; the verdict cannot be
 			// fingerprinted, so don't cache it.

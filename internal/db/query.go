@@ -16,10 +16,9 @@ import (
 
 // Query executes a SELECT. SELECT RESULTDB returns one result set per output
 // relation (Definition 2.2); everything else returns a single-table result.
+// The statement runs lock-free against a snapshot pinned at entry.
 func (d *Database) Query(sel *sqlparse.Select) (*Result, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.queryLocked(sel, nil)
+	return d.query(d.readCtx(), sel, nil)
 }
 
 // QueryWithTrace executes a SELECT with execution tracing enabled and returns
@@ -27,57 +26,62 @@ func (d *Database) Query(sel *sqlparse.Select) (*Result, error) {
 // actual cardinalities, wall times, and transfer bytes). The result is
 // bit-identical to Query's; tracing only observes.
 func (d *Database) QueryWithTrace(sel *sqlparse.Select) (*Result, *trace.Trace, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	ec := d.readCtx()
 	tr := trace.New(sel.SQL())
-	tr.SetParallelism(parallel.Degree(d.CoreOptions.Parallelism))
-	res, err := d.queryLocked(sel, tr)
+	tr.SetParallelism(parallel.Degree(ec.opts.Parallelism))
+	tr.SetSnapshot(ec.snap.Seq(), ec.snap.LSN())
+	res, err := d.query(ec, sel, tr)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res, tr.Finish(), nil
 }
 
-// queryLocked dispatches a SELECT with an optional tracer (nil = disabled),
+// query dispatches a SELECT with an optional tracer (nil = disabled),
 // consulting the semantic result cache when enabled:
 //
 //   - Untraced queries go through the full cache path (lookup, single-flight
-//     collapse of identical concurrent misses, fill) in queryCachedLocked.
+//     collapse of identical concurrent misses, fill) in queryCached.
 //   - Traced queries (EXPLAIN, EXPLAIN ANALYZE, QueryWithTrace) always
 //     execute — a trace without operator spans would be useless — but probe
 //     the cache to annotate the plan with the would-be outcome ("cache: hit"
 //     or "cache: miss" in the strippable bracket section) and fill it, so
 //     EXPLAIN warms the cache for the statement it explains.
-func (d *Database) queryLocked(sel *sqlparse.Select, tr *trace.Tracer) (*Result, error) {
-	if d.CoreOptions.ResultCache {
+//
+// All cache traffic is keyed on the snapshot's table versions: an entry is
+// served only when it embeds exactly the state this reader pinned, and a
+// fill is admitted only when no writer published past the snapshot while
+// the query ran (see queryCached).
+func (d *Database) query(ec execCtx, sel *sqlparse.Select, tr *trace.Tracer) (*Result, error) {
+	if ec.opts.ResultCache && ec.snap != nil {
 		if !tr.Enabled() {
-			return d.queryCachedLocked(sel)
+			return d.queryCached(ec, sel)
 		}
-		key := d.cacheKey(sel)
-		if _, ok := d.resultCache.Peek(key); ok {
+		key := cacheKey(ec, sel)
+		if _, ok := d.resultCache.PeekAt(key, sqlparse.Tables(sel), ec.snap.versionOf); ok {
 			tr.SetCacheStatus("hit")
 		} else {
 			tr.SetCacheStatus("miss")
 		}
-		res, err := d.queryUncachedLocked(sel, tr)
+		res, err := d.queryUncached(ec, sel, tr)
 		if err == nil {
-			d.resultCache.Put(key, res, cachedResultBytes(res), sqlparse.Tables(sel))
+			d.resultCache.PutAt(key, res, cachedResultBytes(res), sqlparse.Tables(sel), ec.snap.versionOf)
 		}
 		return res, err
 	}
-	return d.queryUncachedLocked(sel, tr)
+	return d.queryUncached(ec, sel, tr)
 }
 
-// queryUncachedLocked always executes, bypassing the result cache.
-func (d *Database) queryUncachedLocked(sel *sqlparse.Select, tr *trace.Tracer) (*Result, error) {
+// queryUncached always executes, bypassing the result cache.
+func (d *Database) queryUncached(ec execCtx, sel *sqlparse.Select, tr *trace.Tracer) (*Result, error) {
 	if sel.ResultDB {
 		mode := ModeRDB
 		if sel.Preserving {
 			mode = ModeRDBRP
 		}
-		return d.queryResultDBLocked(sel, mode, tr, nil)
+		return d.queryResultDBAt(ec, sel, mode, tr, nil)
 	}
-	return d.querySingleTableLocked(sel, tr, nil)
+	return d.querySingleTableAt(ec, sel, tr, nil)
 }
 
 // QuerySQL parses and executes a SELECT given as text.
@@ -93,14 +97,12 @@ func (d *Database) QuerySQL(sql string) (*Result, error) {
 // RESULTDB keyword, in the requested mode (RDB per Definition 2.2, RDBRP per
 // Definition 2.3). This is the programmatic entry the benchmarks use.
 func (d *Database) QueryResultDB(sel *sqlparse.Select, mode Mode) (*Result, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.queryResultDBLocked(sel, mode, nil, nil)
+	return d.queryResultDBAt(d.readCtx(), sel, mode, nil, nil)
 }
 
-func (d *Database) querySingleTableLocked(sel *sqlparse.Select, tr *trace.Tracer, sink *streamSink) (*Result, error) {
+func (d *Database) querySingleTableAt(ec execCtx, sel *sqlparse.Select, tr *trace.Tracer, sink *streamSink) (*Result, error) {
 	tr.SetMode("single-table")
-	ex := d.executorTraced(tr)
+	ex := d.executor(ec, tr)
 	rel, err := ex.Select(sel)
 	if err != nil {
 		return nil, err
@@ -123,7 +125,7 @@ func (d *Database) querySingleTableLocked(sel *sqlparse.Select, tr *trace.Tracer
 	return &Result{Sets: []*ResultSet{set}}, nil
 }
 
-func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode, tr *trace.Tracer, sink *streamSink) (*Result, error) {
+func (d *Database) queryResultDBAt(ec execCtx, sel *sqlparse.Select, mode Mode, tr *trace.Tracer, sink *streamSink) (*Result, error) {
 	if len(sel.OrderBy) > 0 || sel.Limit != nil {
 		return nil, fmt.Errorf("db: RESULTDB does not support ORDER BY/LIMIT (which relation would they apply to?)")
 	}
@@ -132,7 +134,7 @@ func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode, tr *trac
 	} else {
 		tr.SetMode("resultdb")
 	}
-	spec, err := engine.AnalyzeSPJ(stripResultDB(sel), d)
+	spec, err := engine.AnalyzeSPJ(stripResultDB(sel), ec.src)
 	if err != nil {
 		return nil, fmt.Errorf("db: RESULTDB requires a select-project-join query: %w", err)
 	}
@@ -141,7 +143,7 @@ func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode, tr *trac
 		outputs = relationshipRels(spec)
 	}
 	tr.SetOutputs(outputs)
-	reduced, stats, err := d.reduceSpec(sel, spec, outputs, tr, mode)
+	reduced, stats, err := d.reduceSpec(ec, sel, spec, outputs, tr, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +168,7 @@ func (d *Database) queryResultDBLocked(sel *sqlparse.Select, mode Mode, tr *trac
 			attrs = dedupAttrs(spec.ProjectionOf(alias))
 		}
 		rel := reduced[strings.ToLower(alias)]
-		set, err := projectSet(alias, rel, attrs, d.CoreOptions.Parallelism)
+		set, err := projectSet(alias, rel, attrs, ec.opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -199,13 +201,13 @@ func relationshipRels(spec *engine.SPJSpec) []string {
 }
 
 // reduceSpec computes fully reduced base relations for the query's output
-// relations, honoring the configured strategy. Queries the semi-join
+// relations, honoring the context's strategy. Queries the semi-join
 // algorithm cannot handle (cross-relation residual predicates, disconnected
 // join graphs) automatically use the Decompose strategy, which is always
 // applicable.
-func (d *Database) reduceSpec(sel *sqlparse.Select, spec *engine.SPJSpec, outputs []string, tr *trace.Tracer, mode Mode) (map[string]*engine.Relation, *core.Stats, error) {
-	ex := d.executorTraced(tr)
-	strategy := d.Strategy
+func (d *Database) reduceSpec(ec execCtx, sel *sqlparse.Select, spec *engine.SPJSpec, outputs []string, tr *trace.Tracer, mode Mode) (map[string]*engine.Relation, *core.Stats, error) {
+	ex := d.executor(ec, tr)
+	strategy := ec.strategy
 	if len(spec.Residual) > 0 {
 		strategy = StrategyDecompose
 		tr.Note("cross-relation residual predicates present; using Decompose strategy")
@@ -217,7 +219,7 @@ func (d *Database) reduceSpec(sel *sqlparse.Select, spec *engine.SPJSpec, output
 		if err != nil {
 			return nil, nil, err
 		}
-		opts := d.CoreOptions
+		opts := ec.opts
 		opts.Tracer = tr
 		verdictKey := ""
 		if opts.CostBased {
@@ -226,20 +228,20 @@ func (d *Database) reduceSpec(sel *sqlparse.Select, spec *engine.SPJSpec, output
 				// Traced runs always plan with statistics so the trace
 				// shows the cost-based decisions; they bypass the verdict
 				// cache in both directions.
-				opts.TableStats = d.aliasStats(spec)
-			case d.planConfirmedHeuristic(d.planKey(sel)+modeKeySuffix(mode), spec):
+				opts.TableStats = d.aliasStats(ec, spec)
+			case d.planConfirmedHeuristic(ec.src, d.planKey(sel)+modeKeySuffix(mode), spec):
 				// A prior cost-based run of this statement at these table
-				// generations produced exactly the heuristic plan; skip
-				// the statistics machinery and take that plan directly.
+				// versions produced exactly the heuristic plan; skip the
+				// statistics machinery and take that plan directly.
 			default:
 				verdictKey = d.planKey(sel) + modeKeySuffix(mode)
-				opts.TableStats = d.aliasStats(spec)
+				opts.TableStats = d.aliasStats(ec, spec)
 			}
 		}
 		reduced, stats, err := core.SemiJoinReduce(spec, rels, outputs, opts)
 		if err == nil {
 			if verdictKey != "" && stats != nil {
-				d.recordPlanVerdict(verdictKey, spec, stats.PlanDiverged)
+				d.recordPlanVerdict(ec.src, verdictKey, spec, stats.PlanDiverged)
 			}
 			return reduced, stats, nil
 		}
@@ -256,10 +258,10 @@ func (d *Database) reduceSpec(sel *sqlparse.Select, spec *engine.SPJSpec, output
 		return nil, nil, err
 	}
 	decompose := core.DecomposeTraced
-	if d.CoreOptions.Vectorized {
+	if ec.opts.Vectorized {
 		decompose = core.DecomposeVecTraced
 	}
-	reduced, err := decompose(joined, outputs, d.CoreOptions.Parallelism, tr)
+	reduced, err := decompose(joined, outputs, ec.opts.Parallelism, tr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -271,10 +273,10 @@ func (d *Database) reduceSpec(sel *sqlparse.Select, spec *engine.SPJSpec, output
 // table's cached statistics, for the cost-based reduction planner. Aliases
 // over missing tables (materialized views dropped mid-flight, etc.) are
 // simply absent; the estimator treats absent stats conservatively.
-func (d *Database) aliasStats(spec *engine.SPJSpec) map[string]*stats.Table {
+func (d *Database) aliasStats(ec execCtx, spec *engine.SPJSpec) map[string]*stats.Table {
 	out := make(map[string]*stats.Table, len(spec.Rels))
 	for _, r := range spec.Rels {
-		t, err := d.Table(r.Table)
+		t, err := ec.src.Table(r.Table)
 		if err != nil {
 			continue
 		}
@@ -287,9 +289,7 @@ func (d *Database) aliasStats(spec *engine.SPJSpec) map[string]*stats.Table {
 // relationship-preserving subdatabase result (Definition 2.3). sets must
 // come from QueryResultDB(sel, ModeRDBRP) of the same query.
 func (d *Database) PostJoin(sel *sqlparse.Select, res *Result) (*ResultSet, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	spec, err := engine.AnalyzeSPJ(stripResultDB(sel), d)
+	spec, err := engine.AnalyzeSPJ(stripResultDB(sel), d.Snapshot())
 	if err != nil {
 		return nil, err
 	}

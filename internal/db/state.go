@@ -1,0 +1,229 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"resultdb/internal/catalog"
+	"resultdb/internal/storage"
+)
+
+// dbState is one immutable published version of the whole database: the
+// table set (each *storage.Table itself an immutable published version), the
+// per-table-name cache version counters, and the commit position. Readers
+// pin a state with one atomic load and then execute entirely lock-free;
+// writers derive the next state under the writer lock and publish it with
+// one atomic store. A state, once published, is never mutated.
+type dbState struct {
+	// tables maps lower-cased names to published table versions.
+	tables map[string]*storage.Table
+	// vers holds the per-table-name version counters the semantic result
+	// cache keys on. Unlike storage.Table.Generation, these survive
+	// DROP+CREATE (a re-created table must not revive results cached against
+	// a previous incarnation), mirroring cache.Cache's own counters.
+	vers map[string]uint64
+	// seq is the commit sequence number: +1 per published mutation batch.
+	seq uint64
+	// lsn is the WAL LSN of the last commit included in this state (0 when
+	// no commit log is installed; seeded by recovery via SetRecoveredLSN).
+	lsn uint64
+}
+
+// Snapshot pins one immutable published database state: a consistent set of
+// table versions acquired with a single atomic load (O(1); the O(tables)
+// copying happens on the write path). A Snapshot implements engine.Source
+// and snapshot.Source, so queries, statistics, checkpoints, and \save all
+// read from the same frozen world. Snapshots are cheap, never expire, and
+// need no release call — an abandoned snapshot is garbage-collected with
+// the table versions only it still references.
+type Snapshot struct {
+	db *Database
+	st *dbState
+}
+
+// Snapshot pins the newest committed state. Every read entry point of the
+// database acquires one and then runs without any database-wide lock:
+// readers never block writers, writers never block readers, and no reader
+// ever observes a half-applied batch.
+func (d *Database) Snapshot() *Snapshot {
+	return &Snapshot{db: d, st: d.state.Load()}
+}
+
+// Table resolves a table name in this snapshot (engine.Source).
+func (s *Snapshot) Table(name string) (*storage.Table, error) {
+	if t, ok := s.st.tables[strings.ToLower(name)]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("db: table %q does not exist", name)
+}
+
+// TableNames returns the snapshot's table names (original case), sorted.
+func (s *Snapshot) TableNames() []string {
+	out := make([]string, 0, len(s.st.tables))
+	for _, t := range s.st.tables {
+		out = append(out, t.Def.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Seq is the snapshot's commit sequence number: 0 for an empty database,
+// +1 per committed mutation batch since.
+func (s *Snapshot) Seq() uint64 { return s.st.seq }
+
+// LSN is the WAL position this snapshot covers: the LSN of the last commit
+// included in it. 0 when the database has no commit log (or no commit was
+// logged yet); recovery seeds it so checkpoints pair the snapshot with the
+// exact log position it reflects.
+func (s *Snapshot) LSN() uint64 { return s.st.lsn }
+
+// versionOf returns the cache version counter of a table name as of this
+// snapshot. Results computed against the snapshot are admitted to the
+// result cache keyed on these — not on the possibly newer live counters —
+// so a fill racing a writer can never be served stale.
+func (s *Snapshot) versionOf(name string) uint64 {
+	return s.st.vers[strings.ToLower(name)]
+}
+
+// writeTxn accumulates one mutation batch on top of a base state. The table
+// map and version map are copied once (O(tables)); mutated tables are
+// replaced by copy-on-write drafts (storage.Table.BeginVersion). commit
+// publishes the batch atomically; a txn abandoned on error leaves the
+// published state — and every concurrent reader — untouched.
+type writeTxn struct {
+	d      *Database
+	base   *dbState
+	tables map[string]*storage.Table
+	vers   map[string]uint64
+
+	drafts   map[string]*storage.Table // draft versions begun this txn
+	touched  []string                  // names whose cache versions bump
+	replaced []*storage.Table          // superseded versions (stats cache cleanup)
+	creates  []*catalog.TableDef       // catalog registrations, applied at commit
+	drops    []string                  // catalog removals, applied at commit
+}
+
+// newWriteTxn copies the base state's maps. Called with d.mu held.
+func (d *Database) newWriteTxn() *writeTxn {
+	base := d.state.Load()
+	tx := &writeTxn{
+		d:      d,
+		base:   base,
+		tables: make(map[string]*storage.Table, len(base.tables)+1),
+		vers:   make(map[string]uint64, len(base.vers)+1),
+		drafts: make(map[string]*storage.Table),
+	}
+	for k, v := range base.tables {
+		tx.tables[k] = v
+	}
+	for k, v := range base.vers {
+		tx.vers[k] = v
+	}
+	return tx
+}
+
+// Table resolves a name within the transaction (pending changes included),
+// implementing engine.Source for statements that read while mutating
+// (CREATE MATERIALIZED VIEW ... AS SELECT).
+func (tx *writeTxn) Table(name string) (*storage.Table, error) {
+	if t, ok := tx.tables[strings.ToLower(name)]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("db: table %q does not exist", name)
+}
+
+// draft returns the transaction's mutable version of name, deriving it from
+// the published version on first use.
+func (tx *writeTxn) draft(name string) (*storage.Table, error) {
+	key := strings.ToLower(name)
+	if t, ok := tx.drafts[key]; ok {
+		return t, nil
+	}
+	cur, ok := tx.tables[key]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", name)
+	}
+	t := cur.BeginVersion()
+	tx.drafts[key] = t
+	tx.tables[key] = t
+	tx.replaced = append(tx.replaced, cur)
+	tx.touch(name)
+	return t, nil
+}
+
+// create registers a new (empty, unpublished) table in the transaction.
+func (tx *writeTxn) create(def *catalog.TableDef) (*storage.Table, error) {
+	key := strings.ToLower(def.Name)
+	if _, ok := tx.tables[key]; ok || tx.d.cat.Has(def.Name) {
+		return nil, fmt.Errorf("catalog: table %q already exists", def.Name)
+	}
+	t := storage.NewTable(def)
+	tx.tables[key] = t
+	tx.drafts[key] = t
+	tx.creates = append(tx.creates, def)
+	// A re-created table is a different table: any cached result computed
+	// against a previous incarnation (e.g. before a DROP) must not survive.
+	tx.touch(def.Name)
+	return t, nil
+}
+
+// drop removes a table from the transaction.
+func (tx *writeTxn) drop(name string) {
+	key := strings.ToLower(name)
+	if old, ok := tx.tables[key]; ok {
+		tx.replaced = append(tx.replaced, old)
+	}
+	delete(tx.tables, key)
+	tx.drops = append(tx.drops, name)
+	tx.touch(name)
+}
+
+// touch marks a table name's cached results as invalidated by this batch.
+func (tx *writeTxn) touch(name string) {
+	key := strings.ToLower(name)
+	tx.vers[key]++
+	tx.touched = append(tx.touched, key)
+}
+
+// commit publishes the transaction as the next database state, stamped with
+// the WAL position of its commit record. Called with d.mu held, after the
+// batch applied cleanly and (when a commit log is installed) after its log
+// append succeeded — so log order is publish order, and a state no reader
+// has seen is never ahead of the log. The result-cache version bumps happen
+// before the store: once a reader can see the new state, every stale cached
+// entry is already invalidated.
+func (tx *writeTxn) commit(lsn uint64) {
+	d := tx.d
+	for _, def := range tx.creates {
+		// Validated in create; the registry and the published map move
+		// together under the writer lock.
+		d.cat.Create(def)
+	}
+	for _, name := range tx.drops {
+		d.cat.Drop(name)
+	}
+	for _, old := range tx.replaced {
+		d.statsCache.Forget(old)
+	}
+	if len(tx.touched) > 0 {
+		d.resultCache.Bump(tx.touched...)
+	}
+	if lsn == 0 {
+		lsn = tx.base.lsn
+	}
+	d.state.Store(&dbState{
+		tables: tx.tables,
+		vers:   tx.vers,
+		seq:    tx.base.seq + 1,
+		lsn:    lsn,
+	})
+}
+
+// emptyState returns the state of a freshly created database.
+func emptyState() *dbState {
+	return &dbState{
+		tables: make(map[string]*storage.Table),
+		vers:   make(map[string]uint64),
+	}
+}

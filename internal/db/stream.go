@@ -23,8 +23,8 @@ type StreamMeta struct {
 }
 
 // streamSink receives a streamed execution, nil-safe: a nil sink turns
-// queryResultDBLocked/querySingleTableLocked back into the plain buffered
-// path at the cost of two nil checks.
+// queryResultDBAt/querySingleTableAt back into the plain buffered path at
+// the cost of two nil checks.
 type streamSink struct {
 	beginFn func(StreamMeta) error
 	emitFn  func(*ResultSet) error
@@ -53,11 +53,22 @@ func (s *streamSink) emit(set *ResultSet) error {
 // non-SELECT statements execute fully first and then replay their result
 // through the callbacks, so consumers see one protocol either way.
 //
+// SELECTs stream from a snapshot pinned at entry, lock-free: the emitted
+// sets are immutable views of one committed state even while writers
+// publish concurrently.
+//
 // The returned Result is the same value a plain Exec would have produced.
 // An error from begin or emit aborts execution and is returned verbatim; an
 // execution error after begin was already called is returned too — streaming
 // consumers must be prepared to abandon a stream mid-flight.
-func (d *Database) ExecStream(sql string, begin func(StreamMeta) error, emit func(*ResultSet) error) (res *Result, err error) {
+func (d *Database) ExecStream(sql string, begin func(StreamMeta) error, emit func(*ResultSet) error) (*Result, error) {
+	return d.execStreamAt(d.readCtx(), nil, sql, begin, emit)
+}
+
+// execStreamAt is ExecStream against an explicit execution context.
+// onMutated, when non-nil, runs after a successful non-SELECT statement
+// (sessions refresh their pinned view through it).
+func (d *Database) execStreamAt(ec execCtx, onMutated func(), sql string, begin func(StreamMeta) error, emit func(*ResultSet) error) (res *Result, err error) {
 	// Same panic confinement as ExecStatement: a poisoned query surfaces as
 	// a statement error (the stream is abandoned mid-flight), not a crash.
 	defer func() {
@@ -75,14 +86,16 @@ func (d *Database) ExecStream(sql string, begin func(StreamMeta) error, emit fun
 		if err != nil {
 			return nil, err
 		}
+		if onMutated != nil {
+			onMutated()
+		}
 		return res, replayStream(res, begin, emit)
 	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if d.CoreOptions.ResultCache {
+	if ec.opts.ResultCache {
 		// The cache stores whole results (and may return one computed by a
-		// concurrent identical query), so the streamed form is a replay.
-		res, err := d.queryCachedLocked(sel)
+		// concurrent identical query at the same snapshot versions), so the
+		// streamed form is a replay.
+		res, err := d.queryCached(ec, sel)
 		if err != nil {
 			return nil, err
 		}
@@ -94,9 +107,9 @@ func (d *Database) ExecStream(sql string, begin func(StreamMeta) error, emit fun
 		if sel.Preserving {
 			mode = ModeRDBRP
 		}
-		return d.queryResultDBLocked(sel, mode, nil, sink)
+		return d.queryResultDBAt(ec, sel, mode, nil, sink)
 	}
-	return d.querySingleTableLocked(sel, nil, sink)
+	return d.querySingleTableAt(ec, sel, nil, sink)
 }
 
 // replayStream feeds an already-materialized result through the streaming

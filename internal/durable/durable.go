@@ -195,6 +195,9 @@ func Open(opts Options, bootstrap func(*db.Database) error) (*Manager, *db.Datab
 	m.replayed = stats.Records
 	m.replaySkipped = stats.Skipped
 	m.tornTail = stats.TornTail
+	// Stamp the recovered position into the published MVCC state so the first
+	// snapshot (and the birth checkpoint taken from it) carries the right LSN.
+	d.SetRecoveredLSN(stats.LastLSN)
 
 	m.log, err = wal.Open(wal.Options{
 		FS:            fsys,
@@ -243,15 +246,16 @@ func (m *Manager) loadNewestCheckpoint(ckpts []string) (*db.Database, error) {
 	return nil, lastErr
 }
 
-// Append implements db.CommitLog: called with the database write lock held,
-// it logs the batch; the returned wait makes it durable (group-committed)
+// Append implements db.CommitLog: called with the database writer lock held,
+// it logs the batch and returns its LSN (which the writer publishes in the
+// committed state); the returned wait makes it durable (group-committed)
 // and is invoked by the database after unlock.
-func (m *Manager) Append(stmts []string) (func() error, error) {
+func (m *Manager) Append(stmts []string) (uint64, func() error, error) {
 	lsn, err := m.log.Append(wal.EncodeStatements(stmts))
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	return func() error {
+	return lsn, func() error {
 		if err := m.log.Sync(lsn); err != nil {
 			return err
 		}
@@ -267,9 +271,10 @@ func (m *Manager) Append(stmts []string) (func() error, error) {
 	}, nil
 }
 
-// Checkpoint dumps the database (under its read lock, paired with the WAL
-// position it covers), writes it to a temporary file, fsyncs, renames into
-// place, syncs the directory, then removes older checkpoints and prunes
+// Checkpoint pins one MVCC snapshot of the database (carrying the WAL
+// position its last commit published — no read lock, writers keep
+// committing), writes it to a temporary file, fsyncs, renames into place,
+// syncs the directory, then removes older checkpoints and prunes
 // fully-covered WAL segments. A crash anywhere in the sequence leaves either
 // the old checkpoint or the new one intact — never neither.
 func (m *Manager) Checkpoint() error {
@@ -278,13 +283,12 @@ func (m *Manager) Checkpoint() error {
 	if m.closed {
 		return errors.New("durable: closed")
 	}
-	var lsn uint64
+	// The snapshot's LSN and tables were published in one atomic store, so the
+	// pair is exactly consistent even while later commits land concurrently.
+	snap := m.db.Snapshot()
+	lsn := snap.LSN()
 	var buf bytes.Buffer
-	err := m.db.View(func() error {
-		lsn = m.log.LastLSN()
-		return snapshot.SaveLSN(m.db, lsn, &buf)
-	})
-	if err != nil {
+	if err := snapshot.SaveLSN(snap, lsn, &buf); err != nil {
 		return fmt.Errorf("durable: checkpoint encode: %w", err)
 	}
 	if m.haveCkpt && lsn == m.ckptLSN {

@@ -28,6 +28,7 @@ import (
 
 	"resultdb/internal/catalog"
 	"resultdb/internal/db"
+	"resultdb/internal/storage"
 	"resultdb/internal/types"
 	"resultdb/internal/wire"
 )
@@ -57,24 +58,33 @@ var (
 	ErrCorrupt = errors.New("snapshot: corrupt")
 )
 
-// Save writes every table of d (base tables and materialized views) to w in
-// the current format, with a last-applied LSN of 0 (no WAL association).
-func Save(d *db.Database, w io.Writer) error {
-	return SaveLSN(d, 0, w)
+// Source is the read surface Save encodes: a sorted table listing plus
+// per-name lookup. Both *db.Database (newest state) and *db.Snapshot (one
+// pinned MVCC version set) implement it, so checkpoints can serialize a
+// frozen snapshot while writers keep committing.
+type Source interface {
+	TableNames() []string
+	Table(name string) (*storage.Table, error)
+}
+
+// Save writes every table of src (base tables and materialized views) to w
+// in the current format, with a last-applied LSN of 0 (no WAL association).
+func Save(src Source, w io.Writer) error {
+	return SaveLSN(src, 0, w)
 }
 
 // SaveLSN writes a snapshot stamped with the WAL LSN it covers: replaying
 // records with LSN > lastLSN on top of the loaded database reconstructs the
 // logged state exactly.
-func SaveLSN(d *db.Database, lastLSN uint64, w io.Writer) error {
+func SaveLSN(src Source, lastLSN uint64, w io.Writer) error {
 	e := wire.NewEncoder()
 	e.Uvarint(magic)
 	e.Uvarint(versionCurrent)
 	e.Uvarint(lastLSN)
-	names := d.Catalog().Names()
+	names := src.TableNames()
 	e.Uvarint(uint64(len(names)))
 	for _, name := range names {
-		t, err := d.Table(name)
+		t, err := src.Table(name)
 		if err != nil {
 			return err
 		}

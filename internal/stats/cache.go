@@ -8,12 +8,21 @@ import (
 
 // Cache lazily builds and caches per-table statistics, invalidated by the
 // table's generation counter — the exact pattern storage.Table uses for its
-// columnar frame cache. Safe for concurrent readers: queries running under
-// the database's shared read lock may race to build stats for the same table.
+// columnar frame cache. Safe for concurrent lock-free readers, which may
+// race to build stats for the same table version.
+//
+// Entries are keyed by table-version pointer (under MVCC each published
+// version is its own key). The writer Forgets superseded versions when it
+// publishes, but a reader on an old snapshot can re-insert an entry for a
+// version the writer already retired; cacheCap bounds that stray growth by
+// resetting the map — entries are re-derived in one build each.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[*storage.Table]*cacheEntry
 }
+
+// cacheCap bounds the number of cached tables (see Cache doc).
+const cacheCap = 4096
 
 type cacheEntry struct {
 	gen  uint64
@@ -35,6 +44,9 @@ func (c *Cache) Of(t *storage.Table) *Table {
 		return e.st
 	}
 	st := FromTable(t)
+	if len(c.entries) >= cacheCap {
+		c.entries = make(map[*storage.Table]*cacheEntry)
+	}
 	c.entries[t] = &cacheEntry{gen: t.Generation(), rows: t.Len(), st: st}
 	return st
 }

@@ -15,10 +15,20 @@ import (
 
 // Table is an in-memory relation: a definition plus rows.
 //
-// Tables are not internally synchronized for writes; internal/db serializes
-// mutation with its transaction lock. The lazily built column-vector cache
-// (Columns) is internally locked because concurrent readers may race to
-// build it under db's shared read lock.
+// Under the MVCC regime (internal/db), a *Table is one published version of
+// a relation: once a version is visible to readers it is never mutated again.
+// Writers derive a successor with BeginVersion, apply their batch to the
+// draft, and publish the draft as the next version — readers holding the old
+// pointer keep a stable, fully consistent row set with zero locking. The row
+// prefix is shared between versions (append-only storage), so deriving a
+// version is O(1) and appending amortizes exactly like a plain slice.
+//
+// Direct mutation (Insert/InsertAll on a published table) remains supported
+// for the single-threaded bulk-load paths (workload generators, CSV import,
+// snapshot restore) that run before any concurrent traffic; it must never be
+// used on a table reachable by a concurrent reader. The lazily built derived
+// caches (Columns, Index) are internally locked because concurrent readers
+// of the *same version* may race to build them.
 type Table struct {
 	Def  *catalog.TableDef
 	Rows []types.Row
@@ -37,6 +47,21 @@ type Table struct {
 // NewTable returns an empty table for def.
 func NewTable(def *catalog.TableDef) *Table {
 	return &Table{Def: def}
+}
+
+// BeginVersion derives a mutable successor of a published version: it shares
+// t's row prefix (copy-on-write — the parent's header caps what readers can
+// see, so appends to the draft never become visible through old snapshots),
+// starts one generation later, and carries none of the parent's derived
+// caches. The caller applies one mutation batch to the draft and publishes
+// it; a draft discarded on error simply never becomes visible.
+//
+// Only one draft may be derived from the newest version at a time (the
+// database's writer lock enforces this): successive versions share one
+// growing backing array, and two concurrent drafts of the same parent would
+// race on its append region.
+func (t *Table) BeginVersion() *Table {
+	return &Table{Def: t.Def, Rows: t.Rows, gen: t.gen + 1}
 }
 
 // invalidate discards derived structures (hash indexes, column vectors)

@@ -92,6 +92,9 @@ func (tr *Trace) TreeLines() []string {
 	if tr.Cache != "" {
 		headAnn = append(headAnn, "cache: "+tr.Cache)
 	}
+	if tr.HasSnapshot {
+		headAnn = append(headAnn, fmt.Sprintf("snapshot: seq %d, lsn %d", tr.SnapshotSeq, tr.SnapshotLSN))
+	}
 	if len(headAnn) > 0 {
 		head += "  [" + strings.Join(headAnn, ", ") + "]"
 	}

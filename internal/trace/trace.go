@@ -119,6 +119,9 @@ type Tracer struct {
 	outputs     []string
 	stats       string
 	cache       string
+	hasSnap     bool
+	snapSeq     uint64
+	snapLSN     uint64
 
 	rowsScanned atomic.Int64
 	rowsJoined  atomic.Int64
@@ -224,6 +227,23 @@ func (t *Tracer) SetCacheStatus(s string) {
 	t.mu.Unlock()
 }
 
+// SetSnapshot records the commit position the traced statement pinned: the
+// MVCC publish sequence number and the durable log LSN of its snapshot.
+// Run-varying (depends on how many commits preceded the query), so it is
+// rendered only inside the strippable bracket section of EXPLAIN ANALYZE
+// and excluded from CountsFingerprint — classic EXPLAIN output is
+// byte-stable across snapshots.
+func (t *Tracer) SetSnapshot(seq, lsn uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.hasSnap = true
+	t.snapSeq = seq
+	t.snapLSN = lsn
+	t.mu.Unlock()
+}
+
 // SetStats records the core algorithm's one-line stats summary.
 func (t *Tracer) SetStats(s string) {
 	if t == nil {
@@ -286,10 +306,17 @@ type Trace struct {
 	// Cache is the result-cache outcome ("hit", "miss", or "" when the cache
 	// is off). Run-varying: excluded from CountsFingerprint and rendered only
 	// inside the strippable bracket section of EXPLAIN ANALYZE.
-	Cache    string   `json:"cache,omitempty"`
-	WallNS   int64    `json:"wall_ns"`
-	Counters Counters `json:"counters"`
-	Spans    []Span   `json:"spans"`
+	Cache string `json:"cache,omitempty"`
+	// HasSnapshot/SnapshotSeq/SnapshotLSN identify the MVCC snapshot the
+	// statement executed against (publish sequence and durable LSN).
+	// Run-varying: excluded from CountsFingerprint and rendered only inside
+	// the strippable bracket section of EXPLAIN ANALYZE.
+	HasSnapshot bool     `json:"has_snapshot,omitempty"`
+	SnapshotSeq uint64   `json:"snapshot_seq,omitempty"`
+	SnapshotLSN uint64   `json:"snapshot_lsn,omitempty"`
+	WallNS      int64    `json:"wall_ns"`
+	Counters    Counters `json:"counters"`
+	Spans       []Span   `json:"spans"`
 }
 
 // Finish snapshots the tracer into a Trace. Returns nil on a disabled
@@ -308,6 +335,9 @@ func (t *Tracer) Finish() *Trace {
 		Outputs:     append([]string(nil), t.outputs...),
 		Stats:       t.stats,
 		Cache:       t.cache,
+		HasSnapshot: t.hasSnap,
+		SnapshotSeq: t.snapSeq,
+		SnapshotLSN: t.snapLSN,
 		WallNS:      time.Since(t.start).Nanoseconds(),
 		Counters: Counters{
 			RowsScanned: t.rowsScanned.Load(),

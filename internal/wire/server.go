@@ -389,17 +389,18 @@ func (s *Server) maxVersion() int {
 	return s.MaxVersion
 }
 
-// execBuffered runs one statement with panics confined to the connection:
-// an executor panic becomes a statement error (terminal for the client — a
-// deterministic panic would just repeat) instead of a dead server.
-func (s *Server) execBuffered(sql string) (res *db.Result, err error) {
+// execBuffered runs one statement on the connection's session with panics
+// confined to the connection: an executor panic becomes a statement error
+// (terminal for the client — a deterministic panic would just repeat)
+// instead of a dead server.
+func (s *Server) execBuffered(sess *db.Session, sql string) (res *db.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.stats.panics.Add(1)
 			err = fmt.Errorf("internal error: %v", p)
 		}
 	}()
-	return s.db.Exec(sql)
+	return sess.Exec(sql)
 }
 
 // isTimeout reports whether err is a deadline miss.
@@ -419,6 +420,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// Each connection gets its own session: statements on this connection see
+	// their own completed writes immediately (the session re-pins after every
+	// mutation) and execute against one consistent MVCC snapshot each, never
+	// blocking on — or observing half of — another connection's writes.
+	sess := s.db.NewSession()
 	// Connection state: hello-less clients get the original protocol (v1
 	// payloads, buffered frameOK responses, no trailers) byte for byte.
 	version := FormatV1
@@ -515,12 +521,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.stats.queries.Add(1)
 		if streaming {
-			if !s.serveStreamed(string(payload), version, reply, send, w) {
+			if !s.serveStreamed(sess, string(payload), version, reply, send, w) {
 				return
 			}
 			continue
 		}
-		res, err := s.execBuffered(string(payload))
+		res, err := s.execBuffered(sess, string(payload))
 		if err != nil {
 			s.stats.queryErrors.Add(1)
 			if werr := reply(frameErr, []byte(err.Error())); werr != nil {
@@ -528,7 +534,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			continue
 		}
-		opts := EncodeOptions{Version: version, Parallelism: s.db.CoreOptions.Parallelism}
+		opts := EncodeOptions{Version: version, Parallelism: sess.CoreOptions.Parallelism}
 		if werr := reply(frameOK, EncodeResultOptions(res, opts)); werr != nil {
 			return
 		}
@@ -541,8 +547,8 @@ func (s *Server) serveConn(conn net.Conn) {
 // (columns in parallel inside it) while the executor projects the next one;
 // and a writer goroutine flushes chunks in order as their encodes finish.
 // Returns false when the connection is no longer usable.
-func (s *Server) serveStreamed(sql string, version int, reply, send func(byte, []byte) error, w *bufio.Writer) bool {
-	par := s.db.CoreOptions.Parallelism
+func (s *Server) serveStreamed(sess *db.Session, sql string, version int, reply, send func(byte, []byte) error, w *bufio.Writer) bool {
+	par := sess.CoreOptions.Parallelism
 
 	// Ordered delivery pipeline: emit enqueues a promise per chunk; the
 	// writer resolves them in order. Capacity bounds how far encoding may
@@ -602,7 +608,7 @@ func (s *Server) serveStreamed(sql string, version int, reply, send func(byte, [
 				err = fmt.Errorf("internal error: %v", p)
 			}
 		}()
-		return s.db.ExecStream(sql,
+		return sess.ExecStream(sql,
 			func(meta db.StreamMeta) error {
 				return enqueue(func() []byte {
 					e := NewEncoderSized(16)

@@ -41,6 +41,22 @@ go test -race -timeout 300s ./internal/parallel ./internal/colstore ./internal/e
 	./internal/cache ./internal/wire ./internal/faultnet ./internal/client \
 	./internal/wal ./internal/snapshot ./internal/durable
 
+echo "== MVCC concurrency gate (N readers x M writers vs per-prefix wire-byte oracles, session contract, snapshot-keyed cache races, checkpoints under load, under -race)"
+go test -race -timeout 300s -count=1 \
+	-run 'TestMVCC|TestSession|TestSnapshotSeesCommittedState|TestDoAt|TestCheckpointDuringWrites' \
+	./internal/db ./internal/cache ./internal/durable
+
+echo "== lint: writer lock confined to internal/db/db.go"
+# The MVCC invariant: readers are lock-free, and every d.mu acquisition lives
+# in db.go where the writer protocol is defined. New direct references
+# anywhere else are a design regression, not a style nit.
+mu_refs=$(grep -rn 'd\.mu\.' --include='*.go' internal cmd | grep -v '^internal/db/db\.go:' || true)
+if [ -n "$mu_refs" ]; then
+	echo "FAIL: d.mu referenced outside internal/db/db.go (use withWriter or the snapshot API):"
+	echo "$mu_refs"
+	exit 1
+fi
+
 echo "== cache differential + stress gate (cold/warm/invalidate vs uncached oracle, under -race)"
 go test -race -run 'TestCacheDifferential|TestServerCacheStress' -count=1 ./internal/wire
 
